@@ -1,0 +1,497 @@
+(* loopt — command-line driver for the iteration-reordering framework.
+
+   Subcommands:
+     loopt show NEST.loop                  parse, analyze and display a nest
+     loopt apply NEST.loop SCRIPT.seq      legality-check and transform
+     loopt optimize NEST.loop ...          search for a transformation
+     loopt run NEST.loop --param n=8       interpret a nest and checksum it
+     loopt emit NEST.loop [-s SCRIPT]      emit a standalone C program
+     loopt distribute NEST.loop            Allen-Kennedy loop distribution
+     loopt trace NEST.loop [-s SCRIPT]     print the iteration-order grid *)
+
+open Cmdliner
+module Nest = Itf_ir.Nest
+module Depvec = Itf_dep.Depvec
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_nest_file path =
+  match Itf_lang.Parser.parse (read_file path) with
+  | prog -> Ok prog
+  | exception Itf_lang.Parser.Error { line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | exception Sys_error e -> Error e
+
+let parse_script_file ~depth path =
+  match Itf_lang.Script.parse ~depth (read_file path) with
+  | seq -> Ok seq
+  | exception Itf_lang.Script.Error { line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | exception Sys_error e -> Error e
+
+
+(* Subscript arity of an array as used by a nest (1 if never subscripted). *)
+let array_arity (nest : Nest.t) a =
+  let count = ref 1 in
+  let rec expr (e : Itf_ir.Expr.t) =
+    match e with
+    | Load { array; index } ->
+      if array = a then count := List.length index;
+      List.iter expr index
+    | Neg x -> expr x
+    | Add (x, y) | Sub (x, y) | Mul (x, y) | Div (x, y) | Mod (x, y)
+    | Min (x, y) | Max (x, y) ->
+      expr x;
+      expr y
+    | Call (_, args) -> List.iter expr args
+    | Int _ | Var _ -> ()
+  in
+  let rec stmt = function
+    | Itf_ir.Stmt.Store ({ array; index }, rhs) ->
+      if array = a then count := List.length index;
+      List.iter expr index;
+      expr rhs
+    | Itf_ir.Stmt.Set (_, rhs) -> expr rhs
+    | Itf_ir.Stmt.Guard { lhs; rhs; body; _ } ->
+      expr lhs;
+      expr rhs;
+      List.iter stmt body
+  in
+  List.iter stmt (nest.Nest.inits @ nest.Nest.body);
+  !count
+
+(* --param n=32 pairs *)
+let param_conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ name; v ] -> (
+      match int_of_string_opt v with
+      | Some x -> Ok (name, x)
+      | None -> Error (`Msg ("bad parameter value: " ^ s)))
+    | _ -> Error (`Msg ("expected NAME=VALUE, got " ^ s))
+  in
+  let print ppf (n, v) = Format.fprintf ppf "%s=%d" n v in
+  Arg.conv (parse, print)
+
+let params_arg =
+  Arg.(
+    value
+    & opt_all param_conv []
+    & info [ "p"; "param" ] ~docv:"NAME=VALUE"
+        ~doc:"Give a value to a symbolic parameter (repeatable).")
+
+let nest_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"NEST" ~doc:"Loop-nest source file.")
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run nest_path =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog ->
+      let nest = prog.Itf_lang.Parser.nest in
+      Format.printf "== nest ==@.%a@." Nest.pp nest;
+      Format.printf "== dependences ==@.";
+      let deps = Itf_dep.Analysis.dependences nest in
+      if deps = [] then Format.printf "(none)@."
+      else
+        List.iter
+          (fun d -> Format.printf "%a@." Itf_dep.Analysis.pp_dependence d)
+          deps;
+      Format.printf "== LB/UB/STEP matrices (paper Fig. 5) ==@.%a@."
+        Itf_bounds.Bmat.pp
+        (Itf_bounds.Bmat.of_nest nest);
+      let depth = Nest.depth nest in
+      let vectors = List.map (fun d -> d.Itf_dep.Analysis.vector) deps in
+      Format.printf "== queries ==@.";
+      Format.printf "parallelizable loops: %s@."
+        (match Itf_core.Queries.parallelizable_loops ~depth vectors with
+        | [] -> "(none)"
+        | ls -> String.concat ", " (List.map string_of_int ls));
+      Format.printf "innermost vectorizable: %b@."
+        (Itf_core.Queries.vectorizable_innermost ~depth vectors);
+      Format.printf "fully permutable 0..%d: %b@." (depth - 1)
+        (Itf_core.Queries.fully_permutable ~depth vectors ~i:0 ~j:(depth - 1));
+      0
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Parse a nest; print it, its dependence vectors and its bound matrices.")
+    Term.(const run $ nest_arg)
+
+(* ------------------------------------------------------------------ *)
+(* apply                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let script_arg =
+  Arg.(
+    required
+    & pos 1 (some file) None
+    & info [] ~docv:"SCRIPT" ~doc:"Transformation-script file.")
+
+let apply_cmd =
+  let run nest_path script_path verbose =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog -> (
+      let nest = prog.Itf_lang.Parser.nest in
+      match parse_script_file ~depth:(Nest.depth nest) script_path with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok seq -> (
+        match Itf_core.Legality.check nest seq with
+        | Itf_core.Legality.Legal { nest = out; vectors; stages } ->
+          if verbose then
+            List.iter
+              (fun (s : Itf_core.Legality.stage) ->
+                Format.printf "-- before step %d (%s): vectors:"
+                  (s.Itf_core.Legality.index + 1)
+                  (Itf_core.Template.name s.Itf_core.Legality.template);
+                List.iter
+                  (fun v -> Format.printf " %a" Depvec.pp v)
+                  s.Itf_core.Legality.vectors_before;
+                Format.printf "@.")
+              stages;
+          Format.printf "LEGAL@.== transformed nest ==@.%a@." Nest.pp out;
+          Format.printf "== transformed dependence vectors ==@.";
+          List.iter (fun v -> Format.printf "%a " Depvec.pp v) vectors;
+          Format.printf "@.";
+          0
+        | verdict ->
+          Format.printf "ILLEGAL: %a@." Itf_core.Legality.pp_verdict verdict;
+          2))
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-stage dependence vectors.")
+  in
+  Cmd.v
+    (Cmd.info "apply" ~doc:"Apply a transformation script to a nest (legality check + code generation).")
+    Term.(const run $ nest_arg $ script_arg $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* optimize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let run nest_path objective params procs steps =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog -> (
+      let nest = prog.Itf_lang.Parser.nest in
+      let obj =
+        match objective with
+        | "locality" -> Itf_opt.Search.cache_misses ~params ()
+        | "parallel" -> Itf_opt.Search.parallel_time ~procs ~params ()
+        | other ->
+          Printf.eprintf "error: unknown objective %s (use locality|parallel)\n" other;
+          exit 1
+      in
+      match Itf_opt.Search.best ~steps nest obj with
+      | None ->
+        Printf.eprintf "error: nest could not be scored\n";
+        1
+      | Some { Itf_opt.Search.sequence; result; score; explored } ->
+        Format.printf "explored %d candidate sequences@." explored;
+        Format.printf "== best sequence (score %.1f) ==@." score;
+        if sequence = [] then Format.printf "(identity)@."
+        else Format.printf "%a@." Itf_core.Sequence.pp sequence;
+        Format.printf "== transformed nest ==@.%a@." Nest.pp
+          result.Itf_core.Framework.nest;
+        0)
+  in
+  let objective =
+    Arg.(
+      value
+      & opt string "locality"
+      & info [ "objective" ] ~docv:"OBJ" ~doc:"Objective: locality or parallel.")
+  in
+  let procs =
+    Arg.(value & opt int 8 & info [ "procs" ] ~doc:"Simulated processors (parallel objective).")
+  in
+  let steps =
+    Arg.(value & opt int 2 & info [ "steps" ] ~doc:"Maximum sequence length to search.")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Search for a legal transformation sequence minimizing an objective.")
+    Term.(const run $ nest_arg $ objective $ params_arg $ procs $ steps)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let run nest_path params =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog ->
+      if prog.Itf_lang.Parser.functions <> [] then begin
+        Printf.eprintf
+          "error: nests with access functions (%s) need data; 'run' does not support them\n"
+          (String.concat ", " prog.Itf_lang.Parser.functions);
+        exit 1
+      end;
+      let nest = prog.Itf_lang.Parser.nest in
+      let env = Itf_exec.Env.create () in
+      List.iter (fun (v, x) -> Itf_exec.Env.set_scalar env v x) params;
+      let m =
+        List.fold_left (fun acc (_, x) -> max acc (abs x)) 16 params
+      in
+      (* Declare every referenced array generously around the parameter
+         magnitudes and fill deterministically. *)
+      let arrays =
+        List.sort_uniq compare (Nest.arrays_read nest @ Nest.arrays_written nest)
+      in
+      let arity a =
+        let count = ref 1 in
+        let rec expr (e : Itf_ir.Expr.t) =
+          match e with
+          | Load { array; index } ->
+            if array = a then count := List.length index;
+            List.iter expr index
+          | Neg x -> expr x
+          | Add (x, y) | Sub (x, y) | Mul (x, y) | Div (x, y) | Mod (x, y)
+          | Min (x, y) | Max (x, y) ->
+            expr x;
+            expr y
+          | Call (_, args) -> List.iter expr args
+          | Int _ | Var _ -> ()
+        in
+        let rec stmt = function
+          | Itf_ir.Stmt.Store ({ array; index }, rhs) ->
+            if array = a then count := List.length index;
+            List.iter expr index;
+            expr rhs
+          | Itf_ir.Stmt.Set (_, rhs) -> expr rhs
+          | Itf_ir.Stmt.Guard { lhs; rhs; body; _ } ->
+            expr lhs;
+            expr rhs;
+            List.iter stmt body
+        in
+        List.iter stmt (nest.Nest.inits @ nest.Nest.body);
+        !count
+      in
+      List.iter
+        (fun a ->
+          Itf_exec.Env.declare_array env a
+            (List.init (arity a) (fun _ -> (-2 * m, 3 * m)));
+          let data = Itf_exec.Env.array_data env a in
+          Array.iteri (fun k _ -> data.(k) <- (k * 31) mod 97) data)
+        arrays;
+      (try Itf_exec.Interp.run env nest with
+      | Not_found ->
+        Printf.eprintf "error: a symbolic parameter has no value (use --param)\n";
+        exit 1);
+      List.iter
+        (fun (name, data) ->
+          let sum = Array.fold_left ( + ) 0 data in
+          Format.printf "%s: %d elements, checksum %d@." name (Array.length data) sum)
+        (Itf_exec.Env.snapshot env);
+      0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Interpret a nest on synthetic data and print array checksums.")
+    Term.(const run $ nest_arg $ params_arg)
+
+(* ------------------------------------------------------------------ *)
+(* emit                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let emit_cmd =
+  let run nest_path script params openmp =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog -> (
+      let nest = prog.Itf_lang.Parser.nest in
+      let transformed =
+        match script with
+        | None -> Ok nest
+        | Some path -> (
+          match parse_script_file ~depth:(Nest.depth nest) path with
+          | Error e -> Error e
+          | Ok seq -> (
+            match Itf_core.Legality.check nest seq with
+            | Itf_core.Legality.Legal { nest = out; _ } -> Ok out
+            | verdict ->
+              Error (Format.asprintf "illegal script: %a" Itf_core.Legality.pp_verdict verdict)))
+      in
+      match transformed with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok out ->
+        let m = List.fold_left (fun acc (_, x) -> max acc (abs x)) 16 params in
+        let arrays =
+          List.sort_uniq compare (Nest.arrays_read out @ Nest.arrays_written out)
+        in
+        let arity a =
+          let r = ref 1 in
+          let rec expr (e : Itf_ir.Expr.t) =
+            match e with
+            | Load { array; index } ->
+              if array = a then r := List.length index;
+              List.iter expr index
+            | Neg x -> expr x
+            | Add (x, y) | Sub (x, y) | Mul (x, y) | Div (x, y) | Mod (x, y)
+            | Min (x, y) | Max (x, y) ->
+              expr x;
+              expr y
+            | Call (_, args) -> List.iter expr args
+            | Int _ | Var _ -> ()
+          in
+          let rec stmt = function
+            | Itf_ir.Stmt.Store ({ array; index }, rhs) ->
+              if array = a then r := List.length index;
+              List.iter expr index;
+              expr rhs
+            | Itf_ir.Stmt.Set (_, rhs) -> expr rhs
+            | Itf_ir.Stmt.Guard { lhs; rhs; body; _ } ->
+              expr lhs;
+              expr rhs;
+              List.iter stmt body
+          in
+          List.iter stmt (out.Nest.inits @ out.Nest.body);
+          !r
+        in
+        let bounds =
+          List.map (fun a -> (a, List.init (arity a) (fun _ -> (-2 * m, 3 * m)))) arrays
+        in
+        (match Itf_emit.C.program ~openmp ~params ~bounds out with
+        | src ->
+          print_string src;
+          0
+        | exception Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1))
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "script" ] ~docv:"SCRIPT"
+          ~doc:"Apply this transformation script before emitting.")
+  in
+  let openmp =
+    Arg.(value & flag & info [ "openmp" ] ~doc:"Emit OpenMP pragmas for pardo loops.")
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Emit a standalone C program for a nest (optionally transformed first).")
+    Term.(const run $ nest_arg $ script $ params_arg $ openmp)
+
+(* ------------------------------------------------------------------ *)
+(* distribute                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let distribute_cmd =
+  let run nest_path refuse =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog ->
+      let nest = prog.Itf_lang.Parser.nest in
+      let p = Itf_ext.Statement.distribute nest in
+      let p = if refuse then Itf_ext.Statement.fuse_all p else p in
+      Format.printf "%d nest(s):@.%a@." (List.length p) Itf_ext.Program.pp p;
+      0
+  in
+  let refuse =
+    Arg.(
+      value & flag
+      & info [ "refuse" ] ~doc:"Greedily fuse adjacent components back where legal.")
+  in
+  Cmd.v
+    (Cmd.info "distribute"
+       ~doc:"Loop distribution: split the body into dependence components (Allen-Kennedy).")
+    Term.(const run $ nest_arg $ refuse)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let run nest_path script params =
+    match parse_nest_file nest_path with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok prog -> (
+      let nest = prog.Itf_lang.Parser.nest in
+      let transformed =
+        match script with
+        | None -> Ok nest
+        | Some path -> (
+          match parse_script_file ~depth:(Nest.depth nest) path with
+          | Error e -> Error e
+          | Ok seq -> (
+            match Itf_core.Legality.check nest seq with
+            | Itf_core.Legality.Legal { nest = out; _ } -> Ok out
+            | verdict ->
+              Error
+                (Format.asprintf "illegal script: %a" Itf_core.Legality.pp_verdict
+                   verdict)))
+      in
+      match transformed with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        1
+      | Ok out -> (
+        let env = Itf_exec.Env.create () in
+        List.iter (fun (v, x) -> Itf_exec.Env.set_scalar env v x) params;
+        (* a dummy store target is enough; bodies are executed, so declare
+           arrays generously *)
+        let m = List.fold_left (fun acc (_, x) -> max acc (abs x)) 16 params in
+        List.iter
+          (fun a ->
+            Itf_exec.Env.declare_array env a
+              (List.init (array_arity out a) (fun _ -> (-2 * m, 3 * m))))
+          (List.sort_uniq compare (Nest.arrays_read out @ Nest.arrays_written out));
+        match Itf_exec.Trace.ascii_order env out with
+        | grid ->
+          print_string grid;
+          0
+        | exception Invalid_argument msg ->
+          Printf.eprintf "error: %s\n" msg;
+          1))
+  in
+  let script =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "script" ] ~docv:"SCRIPT"
+          ~doc:"Apply this transformation script before tracing.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the iteration-order grid of a (transformed) 1- or 2-deep nest.")
+    Term.(const run $ nest_arg $ script $ params_arg)
+
+let () =
+  let doc = "iteration-reordering loop transformation framework (PLDI'92 reproduction)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "loopt" ~doc)
+          [
+            show_cmd; apply_cmd; optimize_cmd; run_cmd; emit_cmd;
+            distribute_cmd; trace_cmd;
+          ]))

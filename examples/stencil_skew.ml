@@ -1,0 +1,77 @@
+(* Paper Figure 1: transform the 5-point stencil by skewing j with respect
+   to i and interchanging, producing the wavefront form of Figure 1(b) —
+   then validate semantics by interpreting both versions, and parallelize
+   the inner wavefront loop.
+
+   Run with: dune exec examples/stencil_skew.exe *)
+
+open Itf_ir
+module T = Itf_core.Template
+module F = Itf_core.Framework
+module Env = Itf_exec.Env
+module Intmat = Itf_mat.Intmat
+
+let stencil_src =
+  "do i = 2, n - 1\n\
+  \  do j = 2, n - 1\n\
+  \    a(i, j) = (a(i, j) + a(i - 1, j) + a(i, j - 1) + a(i + 1, j) + a(i, j \
+   + 1)) / 5\n\
+  \  enddo\n\
+   enddo\n"
+
+let run_stencil ?(pardo_order = `Forward) nest n =
+  let env = Env.create () in
+  Env.set_scalar env "n" n;
+  Env.declare_array env "a" [ (1, n); (1, n) ];
+  let data = Env.array_data env "a" in
+  Array.iteri (fun k _ -> data.(k) <- (k * 37) mod 1000) data;
+  Itf_exec.Interp.run ~pardo_order env nest;
+  Array.copy (Env.array_data env "a")
+
+let () =
+  let nest = Itf_lang.Parser.parse_nest stencil_src in
+  Format.printf "== Figure 1(a): input ==@.%a@." Nest.pp nest;
+  Format.printf "dependence vectors:";
+  List.iter (fun v -> Format.printf " %a" Itf_dep.Depvec.pp v)
+    (Itf_dep.Analysis.vectors nest);
+  Format.printf "@.@.";
+
+  (* The combined skew+interchange matrix of Figure 1. *)
+  let m = Intmat.mul (Intmat.interchange 2 0 1) (Intmat.skew 2 0 1 1) in
+  let r = F.apply_exn nest [ T.unimodular m ] in
+  Format.printf "== Figure 1(b): skewed and interchanged ==@.%a@." Nest.pp
+    r.F.nest;
+
+  (* Semantic check on a concrete grid. *)
+  let reference = run_stencil nest 20 in
+  let transformed = run_stencil r.F.nest 20 in
+  Format.printf "semantics preserved on a 20x20 grid: %b@.@."
+    (reference = transformed);
+
+  (* Visualize the traversal orders on a small grid: row-major before,
+     anti-diagonal wavefronts after. *)
+  let show label nest =
+    let env = Env.create () in
+    Env.set_scalar env "n" 7;
+    Env.declare_array env "a" [ (1, 7); (1, 7) ];
+    Format.printf "%s@.%s@." label (Itf_exec.Trace.ascii_order env nest)
+  in
+  show "original traversal order (n = 7):" nest;
+  show "transformed traversal order (rows = jj wavefronts):" r.F.nest;
+
+  (* The wavefront payoff: after skewing, the inner loop carries no
+     dependence and can be parallelized; the original inner loop cannot. *)
+  let inner_par_before = F.apply nest [ T.parallelize_one ~n:2 1 ] in
+  let whole =
+    F.apply nest [ T.unimodular m; T.parallelize [| false; true |] ]
+  in
+  Format.printf "parallelize inner loop of the original: %s@."
+    (match inner_par_before with Ok _ -> "LEGAL" | Error _ -> "ILLEGAL");
+  (match whole with
+  | Ok r2 ->
+    Format.printf "parallelize inner loop after skew+interchange: LEGAL@.";
+    let par = run_stencil ~pardo_order:(`Shuffle 7) r2.F.nest 20 in
+    Format.printf
+      "parallel wavefront result matches (adversarial pardo order): %b@."
+      (par = reference)
+  | Error _ -> Format.printf "unexpected: wavefront parallelization rejected@.")

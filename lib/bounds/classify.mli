@@ -1,0 +1,25 @@
+(** The [type(expr, xi)] classification of paper Section 4.1.
+
+    [type(expr, xi)] is [Const] if [expr] is a compile-time constant, [Invar]
+    if [expr] does not mention [xi], [Linear] if [xi] occurs with a
+    compile-time integer coefficient, and [Nonlinear] otherwise.
+
+    The paper's special case: when a lower bound with positive step is a
+    [max] of terms (or an upper bound a [min] of terms), each term counts as
+    a separate linear inequality, so the bound classifies as the join of its
+    terms' types rather than as [Nonlinear]. [type_in_bound] implements
+    that; [type_in] is the plain classification. *)
+
+open Itf_ir
+
+val type_in : Expr.t -> string -> Btype.t
+
+type role = Lower | Upper | Step
+
+val bound_terms : role -> step_sign:int -> Expr.t -> Expr.t list
+(** Decompose a bound into its max/min terms when the special case applies
+    ([Lower]+[max] for positive step, [Lower]+[min] for negative step, and
+    dually for [Upper]); otherwise the single original expression. *)
+
+val type_in_bound : role -> step_sign:int -> Expr.t -> string -> Btype.t
+(** Join of [type_in] over [bound_terms]. *)

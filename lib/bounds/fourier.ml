@@ -1,0 +1,190 @@
+open Itf_ir
+
+type ineq = { coeffs : int array; base : Expr.t }
+
+type system = { vars : string array; ineqs : ineq list }
+
+let ineq coeffs base = { coeffs; base }
+
+exception Unbounded of string
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd a b = gcd (abs a) (abs b)
+
+(* Divide an inequality by the gcd of its coefficients when the base is a
+   literal constant that the gcd divides exactly (sound for >= 0 with a
+   positive divisor); otherwise leave it alone. *)
+let normalize (q : ineq) =
+  let g = Array.fold_left gcd 0 q.coeffs in
+  if g <= 1 then q
+  else
+    match Expr.to_int q.base with
+    | Some b when b mod g = 0 ->
+      { coeffs = Array.map (fun c -> c / g) q.coeffs; base = Expr.int (b / g) }
+    | Some b ->
+      (* floor(b/g) is sound for integer solutions: sum(c/g * y) >= -b/g
+         implies sum >= ceil(-b/g) = -floor(b/g). *)
+      { coeffs = Array.map (fun c -> c / g) q.coeffs; base = Expr.int (Expr.(match div (int b) (int g) with Int v -> v | _ -> b / g)) }
+    | None -> q
+
+let dedupe ineqs =
+  List.sort_uniq compare (List.map normalize ineqs)
+
+(* Highest index with a nonzero coefficient, or -1. *)
+let level (q : ineq) =
+  let l = ref (-1) in
+  Array.iteri (fun k c -> if c <> 0 then l := k) q.coeffs;
+  !l
+
+(* The part of [q] excluding variable [k]: sum_{j<>k} c_j y_j + base. *)
+let rest_expr (vars : string array) (q : ineq) k =
+  let e = ref q.base in
+  Array.iteri
+    (fun j c ->
+      if j <> k && c <> 0 then
+        e := Expr.add !e (Expr.mul (Expr.int c) (Expr.var vars.(j))))
+    q.coeffs;
+  !e
+
+let eliminate_pairs ineqs k =
+  let pos = List.filter (fun q -> q.coeffs.(k) > 0) ineqs in
+  let neg = List.filter (fun q -> q.coeffs.(k) < 0) ineqs in
+  let rest = List.filter (fun q -> q.coeffs.(k) = 0) ineqs in
+  let combined =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun m ->
+            let a = p.coeffs.(k) and b = -m.coeffs.(k) in
+            (* b*p + a*m eliminates y_k; both multipliers positive. *)
+            {
+              coeffs =
+                Array.init (Array.length p.coeffs) (fun j ->
+                    (b * p.coeffs.(j)) + (a * m.coeffs.(j)));
+              base =
+                Expr.add
+                  (Expr.mul (Expr.int b) p.base)
+                  (Expr.mul (Expr.int a) m.base);
+            })
+          neg)
+      pos
+  in
+  dedupe (rest @ combined)
+
+let bounds (sys : system) =
+  let n = Array.length sys.vars in
+  let result = Array.make n (Expr.zero, Expr.zero) in
+  let ineqs = ref (dedupe sys.ineqs) in
+  for k = n - 1 downto 0 do
+    let here = List.filter (fun q -> level q = k) !ineqs in
+    let lowers =
+      List.filter_map
+        (fun q ->
+          let a = q.coeffs.(k) in
+          if a > 0 then
+            (* a*y_k >= -(rest)  =>  y_k >= ceil(-(rest)/a) *)
+            Some (Expr.ceil_div (Expr.neg (rest_expr sys.vars q k)) a)
+          else None)
+        here
+    in
+    let uppers =
+      List.filter_map
+        (fun q ->
+          let a = q.coeffs.(k) in
+          if a < 0 then
+            (* -a*y_k <= rest  =>  y_k <= floor(rest/(-a)) *)
+            Some (Expr.floor_div (rest_expr sys.vars q k) (-a))
+          else None)
+        here
+    in
+    if lowers = [] then raise (Unbounded (sys.vars.(k) ^ " (no lower bound)"));
+    if uppers = [] then raise (Unbounded (sys.vars.(k) ^ " (no upper bound)"));
+    result.(k) <- (Expr.max_list lowers, Expr.min_list uppers);
+    ineqs := eliminate_pairs !ineqs k
+  done;
+  result
+
+let nest_system (nest : Nest.t) =
+  let loops = Array.of_list nest.Nest.loops in
+  let n = Array.length loops in
+  let vars = Array.map (fun l -> l.Nest.var) loops in
+  let all_vars = Array.to_list vars in
+  let term_ineq ~lower k (e : Expr.t) =
+    (* A floor division by a positive constant is exact over integers:
+       x <= e div c  <=>  c*x <= e;   x >= e div c  <=>  c*x >= e - c + 1.
+       This keeps step-normalized bounds (which contain such divisions)
+       inside the linear system. *)
+    let scale, e, slack =
+      match e with
+      | Expr.Div (e', Expr.Int c) when c > 0 ->
+        (c, e', if lower then c - 1 else 0)
+      | _ -> (1, e, 0)
+    in
+    let s = Affine.split ~vars:all_vars e in
+    if not (Affine.is_affine s) then
+      invalid_arg "Fourier.nest_system: non-affine bound";
+    let coeffs = Array.make n 0 in
+    List.iter
+      (fun (v, c) ->
+        let j = ref (-1) in
+        Array.iteri (fun idx v' -> if v = v' then j := idx) vars;
+        coeffs.(!j) <- (if lower then -c else c))
+      s.Affine.coeffs;
+    (* lower: scale*x_k - e + slack >= 0 ; upper: e - scale*x_k >= 0 *)
+    coeffs.(k) <- coeffs.(k) + (if lower then scale else -scale);
+    {
+      coeffs;
+      base =
+        (if lower then Expr.add (Expr.neg s.Affine.base) (Expr.int slack)
+         else s.Affine.base);
+    }
+  in
+  let ineqs =
+    List.concat
+      (List.init n (fun k ->
+           let l = loops.(k) in
+           let lower_terms = Classify.bound_terms Classify.Lower ~step_sign:1 l.Nest.lo in
+           let upper_terms = Classify.bound_terms Classify.Upper ~step_sign:1 l.Nest.hi in
+           List.map (term_ineq ~lower:true k) lower_terms
+           @ List.map (term_ineq ~lower:false k) upper_terms))
+  in
+  { vars; ineqs }
+
+let definitely_infeasible ?(max_ineqs = 400) (sys : system) =
+  let n = Array.length sys.vars in
+  let contradiction ineqs =
+    List.exists
+      (fun q ->
+        Array.for_all (( = ) 0) q.coeffs
+        &&
+        match Expr.to_int q.base with Some b -> b < 0 | None -> false)
+      ineqs
+  in
+  let rec go k ineqs =
+    if contradiction ineqs then true
+    else if k >= n || List.length ineqs > max_ineqs then false
+    else go (k + 1) (eliminate_pairs ineqs k)
+  in
+  go 0 (dedupe sys.ineqs)
+
+let substitute (sys : system) (minv : Itf_mat.Intmat.t) (new_vars : string array) =
+  let n = Array.length sys.vars in
+  if Itf_mat.Intmat.rows minv <> n || Itf_mat.Intmat.cols minv <> n then
+    invalid_arg "Fourier.substitute: dimension mismatch";
+  let ineqs =
+    List.map
+      (fun q ->
+        (* sum_k c_k x_k = sum_k c_k (sum_j minv[k][j] y_j)
+                         = sum_j (sum_k c_k minv[k][j]) y_j *)
+        let coeffs =
+          Array.init n (fun j ->
+              let acc = ref 0 in
+              for k = 0 to n - 1 do
+                acc := !acc + (q.coeffs.(k) * Itf_mat.Intmat.get minv k j)
+              done;
+              !acc)
+        in
+        { coeffs; base = q.base })
+      sys.ineqs
+  in
+  { vars = new_vars; ineqs }

@@ -1,0 +1,101 @@
+module Bmat = Itf_bounds.Bmat
+module Btype = Itf_bounds.Btype
+
+type violation = { template : string; message : string }
+
+let which_name = function Bmat.L -> "lower" | Bmat.U -> "upper" | Bmat.S -> "step"
+
+(* Require type(bound_m, x_k) <= limit for the given bounds of loops in
+   [loops] with respect to variables of loops in [wrts] (positions). *)
+let require bm template limit whichs ~loops ~wrts =
+  List.concat_map
+    (fun m ->
+      List.concat_map
+        (fun k ->
+          if k >= m then []
+          else
+            List.filter_map
+              (fun w ->
+                let ty = Bmat.btype bm w ~loop:m ~wrt:k in
+                if Btype.leq ty limit then None
+                else
+                  Some
+                    {
+                      template;
+                      message =
+                        Format.asprintf
+                          "type(%s bound of loop %d, %s) = %a but must be <= %a"
+                          (which_name w) m
+                          bm.Bmat.vars.(k)
+                          Btype.pp ty Btype.pp limit;
+                    })
+              whichs)
+        wrts)
+    loops
+
+(* Steps must be compile-time constants: type(s_m, -) = const overall. *)
+let require_const_steps bm template loops =
+  List.filter_map
+    (fun m ->
+      match Itf_ir.Expr.to_int (Bmat.step_expr bm m) with
+      | Some _ -> None
+      | None ->
+        Some
+          {
+            template;
+            message =
+              Printf.sprintf "step of loop %d is not a compile-time constant" m;
+          })
+    loops
+
+let range a b = List.init (max 0 (b - a + 1)) (fun k -> a + k)
+
+let check bm (t : Template.t) =
+  let n = Bmat.depth bm in
+  if Template.input_depth t <> n then
+    [
+      {
+        template = Template.name t;
+        message =
+          Printf.sprintf "template expects a %d-deep nest but the nest is %d deep"
+            (Template.input_depth t) n;
+      };
+    ]
+  else
+    let name = Template.name t in
+    match t with
+    | Template.Unimodular _ ->
+      require bm name Btype.Linear [ Bmat.L; Bmat.U ] ~loops:(range 0 (n - 1))
+        ~wrts:(range 0 (n - 1))
+      @ require_const_steps bm name (range 0 (n - 1))
+    | Template.Reverse_permute { perm; _ } ->
+      (* Invariance is only required where the permutation swaps the
+         relative order of two loops (Table 3: forall i < j such that
+         perm[i] > perm[j]); this is what admits Figure 4(c)'s nest, whose
+         innermost bounds are nonlinear in j but invariant in i. Steps may
+         be arbitrary invariant expressions. *)
+      List.concat_map
+        (fun m ->
+          List.concat_map
+            (fun k ->
+              if k < m && perm.(k) > perm.(m) then
+                require bm name Btype.Invar [ Bmat.L; Bmat.U; Bmat.S ]
+                  ~loops:[ m ] ~wrts:[ k ]
+              else [])
+            (range 0 (n - 1)))
+        (range 0 (n - 1))
+    | Template.Parallelize _ -> []
+    | Template.Block { i; j; _ } ->
+      require bm name Btype.Linear [ Bmat.L; Bmat.U ] ~loops:(range i j)
+        ~wrts:(range i j)
+      @ require_const_steps bm name (range i j)
+    | Template.Coalesce { i; j; _ } ->
+      require bm name Btype.Invar [ Bmat.L; Bmat.U; Bmat.S ] ~loops:(range i j)
+        ~wrts:(range i j)
+    | Template.Interleave { i; j; _ } ->
+      require bm name Btype.Linear [ Bmat.L; Bmat.U ] ~loops:(range i j)
+        ~wrts:(range i j)
+      @ require_const_steps bm name (range i j)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s" v.template v.message

@@ -1,0 +1,21 @@
+(** Loop-bounds preconditions for the kernel templates (first column of
+    paper Tables 3 and 4).
+
+    A template may be applied to a nest only if its bound expressions
+    satisfy the template's preconditions over the
+    [const ⊑ invar ⊑ linear ⊑ nonlinear] lattice; violating a precondition
+    anywhere in a sequence makes the whole sequence illegal (paper
+    Section 2, legality test part b). The checks are evaluated against the
+    nest's LB/UB/STEP matrix representation (paper Section 4.3), never by
+    re-walking the generated code. *)
+
+type violation = {
+  template : string;
+  message : string;  (** human-readable, names the loop and variable *)
+}
+
+val check : Itf_bounds.Bmat.t -> Template.t -> violation list
+(** Empty list = all preconditions satisfied. Also reports a mismatch
+    between the template's [n] and the nest depth. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,279 @@
+module Dir = Itf_dep.Dir
+module Depvec = Itf_dep.Depvec
+module Intmat = Itf_mat.Intmat
+
+open Depvec
+
+let is_zero e = elem_is_zero e
+
+(* ------------------------------------------------------------------ *)
+(* Unimodular: d' = M x d, extended to direction values.               *)
+(* ------------------------------------------------------------------ *)
+
+(* Extended-integer interval abstraction of an entry. *)
+type ext = NegInf | Fin of int | PosInf
+
+let ext_add a b =
+  match (a, b) with
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, _ | _, PosInf -> PosInf
+  | Fin x, Fin y -> Fin (x + y)
+
+let ext_scale c = function
+  | Fin x -> Fin (c * x)
+  | NegInf -> if c > 0 then NegInf else if c < 0 then PosInf else Fin 0
+  | PosInf -> if c > 0 then PosInf else if c < 0 then NegInf else Fin 0
+
+let interval_of_elem = function
+  | Dist d -> (Fin d, Fin d)
+  | Dir d ->
+    let s = Dir.signs d in
+    let lo = if s.Dir.neg then NegInf else if s.Dir.zero then Fin 0 else Fin 1 in
+    let hi = if s.Dir.pos then PosInf else if s.Dir.zero then Fin 0 else Fin (-1) in
+    (lo, hi)
+
+let elem_of_interval (lo, hi) =
+  match (lo, hi) with
+  | Fin a, Fin b when a = b -> Dist a
+  | Fin a, Fin b when a > 0 && b > 0 -> dir Dir.Pos
+  | Fin a, _ when a > 0 -> dir Dir.Pos
+  | Fin 0, _ -> dir Dir.NonNeg
+  | _, Fin b when b < 0 -> dir Dir.Neg
+  | _, Fin 0 -> dir Dir.NonPos
+  | _ -> dir Dir.Any
+
+(* Scale an entry by an integer, exactly (keeps NonZero precision for
+   signed-permutation rows, where interval arithmetic would widen). *)
+let elem_scale c e =
+  if c = 0 then Dist 0
+  else
+    match e with
+    | Dist d -> Dist (c * d)
+    | Dir d -> dir (if c > 0 then d else Dir.reverse d)
+
+let unimodular_map m (d : t) : t =
+  let n = Array.length d in
+  Array.init n (fun r ->
+      let row = Intmat.row m r in
+      let nonzero = Array.to_list row |> List.filter (fun c -> c <> 0) in
+      match nonzero with
+      | [] -> Dist 0
+      | [ _ ] ->
+        (* Single-term row: exact scaling. *)
+        let k = ref 0 in
+        Array.iteri (fun idx c -> if c <> 0 then k := idx) row;
+        elem_scale row.(!k) d.(!k)
+      | _ ->
+        let acc = ref (Fin 0, Fin 0) in
+        Array.iteri
+          (fun k c ->
+            if c <> 0 then begin
+              let lo, hi = interval_of_elem d.(k) in
+              let lo, hi = if c > 0 then (lo, hi) else (hi, lo) in
+              let lo = ext_scale c lo and hi = ext_scale c hi in
+              acc := (ext_add (fst !acc) lo, ext_add (snd !acc) hi)
+            end)
+          row;
+        elem_of_interval !acc)
+
+(* ------------------------------------------------------------------ *)
+(* ReversePermute                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reverse_permute_map rev perm (d : t) : t =
+  let n = Array.length d in
+  let out = Array.make n (Dist 0) in
+  for k = 0 to n - 1 do
+    out.(perm.(k)) <- (if rev.(k) then elem_reverse d.(k) else d.(k))
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Parallelize                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parmap e = if is_zero e then Dist 0 else elem_union e (elem_reverse e)
+
+let parallelize_map parflag (d : t) : t =
+  Array.mapi (fun k e -> if parflag.(k) then parmap e else e) d
+
+(* ------------------------------------------------------------------ *)
+(* Block                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The nonzero part of an entry's direction: the block-loop entry when a
+   block boundary is crossed. *)
+let dir_nonzero e =
+  let s = elem_signs e in
+  Dir.of_signs { s with Dir.zero = false }
+
+let blockmap e =
+  if is_zero e then [ (Dist 0, Dist 0) ]
+  else
+    match e with
+    | Dir Dir.Any -> [ (dir Dir.Any, dir Dir.Any) ]
+    | Dist d when d = 1 || d = -1 ->
+      (* Crossing at most one block boundary: the block distance is exact. *)
+      [ (Dist 0, e); (Dist d, dir Dir.Any) ]
+    | e -> [ (Dist 0, e); (dir (dir_nonzero e), dir Dir.Any) ]
+
+let prefix_zero (d : t) hi = Array.for_all is_zero (Array.sub d 0 hi)
+
+(* Cross product of per-loop pair choices over the band [lo..hi].
+   [exact0] tells whether block-alignment is trustworthy at the first band
+   loop (the band is rectangular, or every enclosing component of the
+   vector is zero so both iterations see identical band bounds); alignment
+   for deeper band loops additionally requires the chosen outer-group
+   components so far to be exactly zero. *)
+let band_fanout pair_map widened ~exact0 ~rectangular lo hi (d : t) =
+  let rec go k exact =
+    if k > hi then [ ([], []) ]
+    else
+      let choices = if exact then pair_map d.(k) else widened d.(k) in
+      List.concat_map
+        (fun ((b, e) : elem * elem) ->
+          let exact' = rectangular || (exact && is_zero b) in
+          List.map (fun (bs, es) -> (b :: bs, e :: es)) (go (k + 1) exact'))
+        choices
+  in
+  go lo exact0
+
+let block_widened e = [ (dir Dir.Any, e) ]
+(* Element-loop variables keep their original values, so the element
+   component stays exact; only the block-origin alignment is lost. *)
+
+let block_map ~rectangular i j (d : t) : t list =
+  let n = Array.length d in
+  let exact0 = rectangular || prefix_zero d i in
+  List.map
+    (fun (blocks, elems) ->
+      Array.concat
+        [
+          Array.sub d 0 i;
+          Array.of_list blocks;
+          Array.of_list elems;
+          Array.sub d (j + 1) (n - j - 1);
+        ])
+    (band_fanout blockmap block_widened ~exact0 ~rectangular i j d)
+
+(* ------------------------------------------------------------------ *)
+(* Coalesce                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mergedirs elems =
+  match elems with
+  | [] -> invalid_arg "Depmap.mergedirs: empty"
+  | e :: rest ->
+    List.fold_left
+      (fun acc e ->
+        (* While the accumulated outer part is exactly zero, the inner
+           entry passes through unchanged (exact distances survive). *)
+        if is_zero acc then e
+        else dir (Dir.merge_lex (elem_dir acc) (elem_dir e)))
+      e rest
+
+let coalesce_map ~rectangular i j (d : t) : t =
+  let n = Array.length d in
+  (* With a nonzero enclosing component and band bounds that depend on
+     enclosing loops, the 0-based renumbering shifts positions arbitrarily:
+     the merged component's magnitude and even its sign are unreliable. *)
+  let merged =
+    if rectangular || prefix_zero d i then
+      mergedirs (Array.to_list (Array.sub d i (j - i + 1)))
+    else dir Dir.Any
+  in
+  Array.concat
+    [ Array.sub d 0 i; [| merged |]; Array.sub d (j + 1) (n - j - 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Interleave                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Decompose an iteration-number distance d as  d = phase + F * position
+   with unknown interleave factor F and |phase| < F. For d > 0 the
+   realizable (phase, position) pairs are (0, +), (+, 0+), (-, +);
+   mirrored for d < 0; (0, 0) for d = 0. Sign-unknown entries take the
+   union of their sign cases. *)
+let imap e =
+  let s = elem_signs e in
+  let zero_case = if s.Dir.zero then [ (Dist 0, Dist 0) ] else [] in
+  let pos_case =
+    if s.Dir.pos then
+      [
+        (Dist 0, dir Dir.Pos);
+        (dir Dir.Pos, dir Dir.NonNeg);
+        (dir Dir.Neg, dir Dir.Pos);
+      ]
+    else []
+  in
+  let neg_case =
+    if s.Dir.neg then
+      [
+        (Dist 0, dir Dir.Neg);
+        (dir Dir.Neg, dir Dir.NonPos);
+        (dir Dir.Pos, dir Dir.Neg);
+      ]
+    else []
+  in
+  (* Merge cases that share a first component to limit fan-out. *)
+  let all = zero_case @ pos_case @ neg_case in
+  let firsts = List.sort_uniq Stdlib.compare (List.map fst all) in
+  List.map
+    (fun f ->
+      let seconds = List.filter_map (fun (a, b) -> if a = f then Some b else None) all in
+      (f, List.fold_left elem_union (List.hd seconds) (List.tl seconds)))
+    firsts
+
+(* When phase alignment is lost, the strided variable still carries its
+   original value, so its direction survives; the phase is arbitrary. *)
+let imap_widened e = [ (dir Dir.Any, dir (elem_dir e)) ]
+
+let interleave_map ~rectangular i j (d : t) : t list =
+  let n = Array.length d in
+  (* Phase alignment at band loop k requires equal strided-loop lower
+     bounds, i.e. zero differences on everything enclosing plus the
+     original band components before k (their variables keep original
+     values). *)
+  let rec fan k =
+    if k > j then [ ([], []) ]
+    else
+      let exact =
+        rectangular
+        || (prefix_zero d i
+           && Array.for_all is_zero (Array.sub d i (k - i)))
+      in
+      let choices = if exact then imap d.(k) else imap_widened d.(k) in
+      List.concat_map
+        (fun ((p, s) : elem * elem) ->
+          List.map (fun (ps, ss) -> (p :: ps, s :: ss)) (fan (k + 1)))
+        choices
+  in
+  List.map
+    (fun (phases, strided) ->
+      Array.concat
+        [
+          Array.sub d 0 i;
+          Array.of_list phases;
+          Array.of_list strided;
+          Array.sub d (j + 1) (n - j - 1);
+        ])
+    (fan i)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let map_vector ?(rectangular_bands = false) (t : Template.t) (d : t) : t list =
+  if Array.length d <> Template.input_depth t then
+    invalid_arg "Depmap.map_vector: vector length mismatch";
+  let rectangular = rectangular_bands in
+  match t with
+  | Template.Unimodular { m; _ } -> [ unimodular_map m d ]
+  | Template.Reverse_permute { rev; perm; _ } -> [ reverse_permute_map rev perm d ]
+  | Template.Parallelize { parflag; _ } -> [ parallelize_map parflag d ]
+  | Template.Block { i; j; _ } -> block_map ~rectangular i j d
+  | Template.Coalesce { i; j; _ } -> [ coalesce_map ~rectangular i j d ]
+  | Template.Interleave { i; j; _ } -> interleave_map ~rectangular i j d
+
+let map_set ?rectangular_bands t ds =
+  Depvec.dedupe (List.concat_map (map_vector ?rectangular_bands t) ds)

@@ -1,0 +1,61 @@
+(** Dependence-vector mapping rules for the kernel templates
+    (paper Table 2).
+
+    Every template except [Block] and [Interleave] maps a dependence vector
+    to exactly one output vector; [Block] and [Interleave] fan out to as
+    many as [2^(j-i+1)] (respectively [3^(j-i+1)]) vectors — the reason they
+    cannot be represented by transformation matrices (paper Section 3.2).
+
+    All rules are {e consistent} in the sense of paper Definition 3.4: the
+    transformed vector set covers the image of every ordered dependent
+    iteration pair. The test suite verifies this empirically against the
+    interpreter on randomized nests and transformations.
+
+    Two rules were reconstructed from the paper's stated semantics (the OCR
+    of Table 2 is damaged there):
+
+    - [Parallelize]'s [parmap(d)] keeps a provably-zero entry and otherwise
+      widens to the union of [d] with its reverse — a [pardo] loop's
+      iterations are mutually unordered, so a nonzero dependence component
+      may be observed in either order.
+    - [Interleave]'s [imap(d)] decomposes [d = phase + F * position] for an
+      unknown factor [F]: zero maps to [(0, 0)]; a positive component maps
+      to the pairs [(0, +), (+, 0+), (-, +)] (and mirrored for negative);
+      sign-unknown components take the corresponding unions. *)
+
+val map_vector :
+  ?rectangular_bands:bool -> Template.t -> Itf_dep.Depvec.t ->
+  Itf_dep.Depvec.t list
+(** [rectangular_bands] (default [false]) asserts that the bounds and steps
+    of the template's loop range are invariant in {e all} enclosing loop
+    variables. Table 2's exact entries for [Block]/[Coalesce]/[Interleave]
+    bands (e.g. [blockmap]'s [(0, d)] "same block" pair) silently assume
+    this: when a band loop's bounds depend on an enclosing loop and the
+    vector has a nonzero enclosing component, the renumbering performed by
+    the transformation shifts per-iteration alignment, so this
+    implementation widens those entries to keep the rules consistent
+    (Definition 3.4) — a refinement of the paper validated by the
+    randomized oracle tests. {!Legality} computes the flag from the nest's
+    LB/UB/STEP matrices; callers without a nest at hand get the sound
+    conservative default.
+    @raise Invalid_argument if the vector length differs from the
+    template's input depth. *)
+
+val map_set :
+  ?rectangular_bands:bool -> Template.t -> Itf_dep.Depvec.t list ->
+  Itf_dep.Depvec.t list
+(** Image of a whole dependence-vector set, deduplicated. *)
+
+(** {1 Individual entry maps (exposed for tests and documentation)} *)
+
+val parmap : Itf_dep.Depvec.elem -> Itf_dep.Depvec.elem
+
+val blockmap : Itf_dep.Depvec.elem -> (Itf_dep.Depvec.elem * Itf_dep.Depvec.elem) list
+(** Pairs of (block-loop entry, element-loop entry). *)
+
+val imap : Itf_dep.Depvec.elem -> (Itf_dep.Depvec.elem * Itf_dep.Depvec.elem) list
+(** Pairs of (phase-loop entry, strided-loop entry). *)
+
+val mergedirs : Itf_dep.Depvec.elem list -> Itf_dep.Depvec.elem
+(** [Coalesce]'s lexicographic merge; exact distances survive when all
+    outer entries are exactly zero. *)

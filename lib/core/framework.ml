@@ -1,0 +1,20 @@
+type result = {
+  nest : Itf_ir.Nest.t;
+  vectors : Itf_dep.Depvec.t list;
+  stages : Legality.stage list;
+}
+
+exception Illegal of Legality.verdict
+
+let apply ?vectors nest seq =
+  match Legality.check ?vectors nest seq with
+  | Legality.Legal { nest; vectors; stages } -> Ok { nest; vectors; stages }
+  | verdict -> Error verdict
+
+let apply_exn ?vectors nest seq =
+  match apply ?vectors nest seq with
+  | Ok r -> r
+  | Error verdict -> raise (Illegal verdict)
+
+let map_vectors seq vectors =
+  List.fold_left (fun vs t -> Depmap.map_set t vs) vectors seq

@@ -1,0 +1,43 @@
+(** Top-level API of the iteration-reordering transformation framework.
+
+    Typical use:
+
+    {[
+      let nest = ... (* a perfect loop nest, Itf_ir.Nest.t *) in
+      let seq =
+        [ Template.skew ~n:2 ~src:0 ~dst:1 ~factor:1;
+          Template.interchange ~n:2 0 1 ]
+      in
+      match Framework.apply nest seq with
+      | Ok { nest = transformed; vectors; _ } -> ...
+      | Error verdict -> ...
+    ]}
+
+    Transformations are values, independent of any loop nest (paper
+    Section 5): they can be built, composed with {!Sequence.compose},
+    compared for legality against many nests, and only turned into code
+    when a winner is chosen. *)
+
+type result = {
+  nest : Itf_ir.Nest.t;  (** the transformed nest, inits included *)
+  vectors : Itf_dep.Depvec.t list;  (** its dependence vectors, by mapping *)
+  stages : Legality.stage list;  (** intermediate states, for inspection *)
+}
+
+val apply :
+  ?vectors:Itf_dep.Depvec.t list ->
+  Itf_ir.Nest.t ->
+  Sequence.t ->
+  (result, Legality.verdict) Stdlib.result
+(** Check legality and generate code. [vectors] overrides the dependence
+    analyzer (used for nests whose dependences are known externally, e.g.
+    paper Figure 2's examples). [Error] carries the failing verdict. *)
+
+val apply_exn :
+  ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> result
+(** @raise Illegal on an illegal sequence. *)
+
+exception Illegal of Legality.verdict
+
+val map_vectors : Sequence.t -> Itf_dep.Depvec.t list -> Itf_dep.Depvec.t list
+(** Dependence-vector image of a whole sequence (no bounds checks). *)

@@ -1,0 +1,132 @@
+open Itf_ir
+module Depvec = Itf_dep.Depvec
+module Bmat = Itf_bounds.Bmat
+
+type stage = {
+  index : int;
+  template : Template.t;
+  nest_before : Nest.t;
+  vectors_before : Depvec.t list;
+}
+
+type verdict =
+  | Legal of { nest : Nest.t; vectors : Depvec.t list; stages : stage list }
+  | Bounds_violation of { index : int; violations : Boundsmap.violation list }
+  | Dependence_violation of { vector : Depvec.t }
+
+(* Is the template's loop band rectangular — bounds and steps invariant in
+   every enclosing loop variable? Controls whether Table 2's exact band
+   entries are trustworthy (see {!Depmap.map_vector}). *)
+let rectangular_bands bm (t : Template.t) =
+  let band =
+    match t with
+    | Template.Block { i; j; _ }
+    | Template.Coalesce { i; j; _ }
+    | Template.Interleave { i; j; _ } -> Some (i, j)
+    | Template.Unimodular _ | Template.Reverse_permute _
+    | Template.Parallelize _ -> None
+  in
+  match band with
+  | None -> false
+  | Some (i, j) ->
+    let ok = ref true in
+    for m = i to j do
+      for k = 0 to m - 1 do
+        List.iter
+          (fun w ->
+            if not (Itf_bounds.Btype.leq (Bmat.btype bm w ~loop:m ~wrt:k) Itf_bounds.Btype.Invar)
+            then ok := false)
+          [ Bmat.L; Bmat.U; Bmat.S ]
+      done
+    done;
+    !ok
+
+let check ?vectors nest (seq : Sequence.t) =
+  if not (Sequence.well_formed seq) then
+    invalid_arg "Legality.check: sequence does not chain";
+  (match seq with
+  | t :: _ when Template.input_depth t <> Nest.depth nest ->
+    invalid_arg "Legality.check: sequence does not start at the nest depth"
+  | _ -> ());
+  let vectors =
+    match vectors with Some v -> v | None -> Itf_dep.Analysis.vectors nest
+  in
+  let rec go index nest vectors stages = function
+    | [] -> (
+      match Depvec.set_may_lex_negative vectors with
+      | Some vector -> Dependence_violation { vector }
+      | None -> Legal { nest; vectors; stages = List.rev stages })
+    | t :: rest -> (
+      let bm = Bmat.of_nest nest in
+      match Boundsmap.check bm t with
+      | _ :: _ as violations -> Bounds_violation { index; violations }
+      | [] -> (
+        let stage =
+          { index; template = t; nest_before = nest; vectors_before = vectors }
+        in
+        let rectangular_bands = rectangular_bands bm t in
+        (* The published preconditions are necessary but not quite
+           sufficient for every corner (e.g. a strided loop whose lower
+           bound is a multi-term max cannot be step-normalized exactly);
+           when code generation detects such a case it rejects, and we
+           report it as a bounds violation rather than crash. *)
+        match Codegen.apply nest t with
+        | nest' ->
+          go (index + 1) nest'
+            (Depmap.map_set ~rectangular_bands t vectors)
+            (stage :: stages) rest
+        | exception (Invalid_argument msg | Failure msg) ->
+          Bounds_violation
+            {
+              index;
+              violations =
+                [
+                  {
+                    Boundsmap.template = Template.name t;
+                    message = "code generation rejected the nest: " ^ msg;
+                  };
+                ];
+            }
+        | exception Itf_bounds.Fourier.Unbounded what ->
+          Bounds_violation
+            {
+              index;
+              violations =
+                [
+                  {
+                    Boundsmap.template = Template.name t;
+                    message = "transformed iteration space unbounded in " ^ what;
+                  };
+                ];
+            }))
+  in
+  match go 0 nest vectors [] seq with
+  | Legal _ as ok -> ok
+  | Bounds_violation _ as verdict -> (
+    (* A sequence may violate stage preconditions while its reduction does
+       not: e.g. skew-then-interchange fails ReversePermute's rectangular
+       precondition on the skewed nest, but reduces to a single Unimodular
+       that Figure 1 generates directly. Accept if the reduced sequence is
+       legal; otherwise report the original failure. *)
+    let reduced = Sequence.reduce seq in
+    if reduced = seq then verdict
+    else
+      match go 0 nest vectors [] reduced with
+      | Legal _ as ok -> ok
+      | _ -> verdict)
+  | other -> other
+
+let is_legal ?vectors nest seq =
+  match check ?vectors nest seq with Legal _ -> true | _ -> false
+
+let pp_verdict ppf = function
+  | Legal { vectors; _ } ->
+    Format.fprintf ppf "legal; transformed dependence vectors:@ ";
+    List.iter (fun v -> Format.fprintf ppf "%a " Depvec.pp v) vectors
+  | Bounds_violation { index; violations } ->
+    Format.fprintf ppf "illegal: bounds preconditions fail at step %d:@ " index;
+    List.iter (fun v -> Format.fprintf ppf "%a@ " Boundsmap.pp_violation v) violations
+  | Dependence_violation { vector } ->
+    Format.fprintf ppf
+      "illegal: transformed vector %a admits a lexicographically negative tuple"
+      Depvec.pp vector

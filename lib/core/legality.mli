@@ -1,0 +1,44 @@
+(** The single uniform legality test (paper Sections 2-4).
+
+    [IsLegal(T, N)] holds iff
+
+    + {b dependence-vector test} — mapping the nest's dependence vectors
+      through every template of [T] yields a set with no lexicographically
+      negative tuple. Intermediate stages need {e not} be legal, only the
+      final set (paper Section 3.2);
+    + {b loop-bounds test} — every template's bound preconditions hold at
+      its stage (paper Section 4.1). Unlike the dependence test, this is
+      checked per stage.
+
+    The per-stage nests (needed to evaluate stage preconditions) are
+    produced by {!Codegen}; each stage's preconditions are verified before
+    its code is generated, so code generation never runs on a nest that
+    violates them. *)
+
+type stage = {
+  index : int;  (** 0-based position in the sequence *)
+  template : Template.t;
+  nest_before : Itf_ir.Nest.t;
+  vectors_before : Itf_dep.Depvec.t list;
+}
+
+type verdict =
+  | Legal of {
+      nest : Itf_ir.Nest.t;  (** final transformed nest *)
+      vectors : Itf_dep.Depvec.t list;  (** final dependence-vector set *)
+      stages : stage list;  (** per-stage intermediate states *)
+    }
+  | Bounds_violation of { index : int; violations : Boundsmap.violation list }
+  | Dependence_violation of {
+      vector : Itf_dep.Depvec.t;
+          (** a final vector admitting a lex-negative tuple *)
+    }
+
+val check : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> verdict
+(** [check nest seq] — [vectors] defaults to {!Itf_dep.Analysis.vectors}
+    on the nest. @raise Invalid_argument if [seq] does not chain with the
+    nest's depth. *)
+
+val is_legal : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

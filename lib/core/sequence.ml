@@ -1,0 +1,78 @@
+module Intmat = Itf_mat.Intmat
+
+type t = Template.t list
+
+let rec well_formed = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) ->
+    Template.output_depth a = Template.input_depth b && well_formed rest
+
+let output_depth ~input seq =
+  List.fold_left
+    (fun d t ->
+      if Template.input_depth t <> d then
+        invalid_arg "Sequence.output_depth: sequence does not chain"
+      else Template.output_depth t)
+    input seq
+
+let is_identity (t : Template.t) =
+  match t with
+  | Template.Unimodular { n; m } -> Intmat.equal m (Intmat.identity n)
+  | Template.Reverse_permute { rev; perm; _ } ->
+    Array.for_all not rev && Array.for_all2 ( = ) perm (Array.init (Array.length perm) Fun.id)
+  | Template.Parallelize { parflag; _ } -> Array.for_all not parflag
+  | Template.Block _ | Template.Coalesce _ | Template.Interleave _ -> false
+
+(* Compose two adjacent instantiations into one when possible; [a] is
+   applied first. *)
+let compose2 (a : Template.t) (b : Template.t) : Template.t option =
+  match (a, b) with
+  | ( Template.Reverse_permute { n; rev = r1; perm = p1 },
+      Template.Reverse_permute { rev = r2; perm = p2; _ } ) ->
+    (* Loop k goes to p1.(k), then to p2.(p1.(k)); it is reversed when
+       exactly one stage reverses it. Kept as a ReversePermute — it is
+       preferable to an equivalent Unimodular (paper Section 4.2). *)
+    let perm = Array.init n (fun k -> p2.(p1.(k))) in
+    let rev = Array.init n (fun k -> r1.(k) <> r2.(p1.(k))) in
+    Some (Template.Reverse_permute { n; rev; perm })
+  | ( Template.Parallelize { n; parflag = f1 },
+      Template.Parallelize { parflag = f2; _ } ) ->
+    Some (Template.Parallelize { n; parflag = Array.init n (fun k -> f1.(k) || f2.(k)) })
+  | _ -> (
+    (* A Unimodular adjacent to any matrix-representable instantiation
+       composes by matrix product (a reversed-permuted loop order equals
+       the corresponding unimodular's). This is what lets Figure 1's
+       "skew then interchange" collapse into one Unimodular whose bounds
+       Fourier-Motzkin can generate. *)
+    match (a, b, Template.to_matrix a, Template.to_matrix b) with
+    | (Template.Unimodular _, _, Some m1, Some m2)
+    | (_, Template.Unimodular _, Some m1, Some m2) ->
+      Some (Template.unimodular (Intmat.mul m2 m1))
+    | _ -> None)
+
+let rec pass = function
+  | [] -> []
+  | [ t ] -> if is_identity t then [] else [ t ]
+  | a :: b :: rest ->
+    if is_identity a then pass (b :: rest)
+    else (
+      match compose2 a b with
+      | Some c -> pass (c :: rest)
+      | None -> a :: pass (b :: rest))
+
+(* Each pass only shortens the list or leaves it unchanged, so this
+   terminates. *)
+let rec reduce seq =
+  let seq' = pass seq in
+  if seq' = seq then seq else reduce seq'
+
+let compose t u = reduce (t @ u)
+
+let pp ppf (seq : t) =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun k t ->
+      if k > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "%d. %a" (k + 1) Template.pp t)
+    seq;
+  Format.fprintf ppf "@]"

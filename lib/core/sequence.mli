@@ -1,0 +1,35 @@
+(** The sequence representation of iteration-reordering transformations
+    (paper Section 2).
+
+    A transformation is a list of template instantiations, applied left to
+    right. Composition of transformations is sequence concatenation; for
+    efficiency the concatenation is reduced by composing adjacent compatible
+    instantiations into one (paper Section 2, item 2):
+
+    - [Unimodular M1] then [Unimodular M2] becomes [Unimodular (M2 * M1)];
+    - adjacent [Reverse_permute]s compose their permutations and fold their
+      reversal masks;
+    - adjacent [Parallelize]s take the union of their flags;
+    - an identity instantiation (identity matrix / identity permutation with
+      no reversals / all-false flags) is dropped. *)
+
+type t = Template.t list
+
+val well_formed : t -> bool
+(** Depths chain: each template's input depth equals the previous one's
+    output depth. The empty sequence is well-formed. *)
+
+val output_depth : input:int -> t -> int
+(** Nest depth after applying the sequence to an [input]-deep nest.
+    @raise Invalid_argument if the sequence does not chain from [input]. *)
+
+val compose : t -> t -> t
+(** [compose t u] is "first [t], then [u]" — concatenation plus reduction
+    at the seam. *)
+
+val reduce : t -> t
+(** Fixpoint of the adjacent-composition rules over the whole sequence. *)
+
+val is_identity : Template.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+open Itf_ir
+
+let ascii_order env (nest : Nest.t) =
+  let depth = Nest.depth nest in
+  if depth < 1 || depth > 2 then
+    invalid_arg "Trace.ascii_order: only 1- or 2-deep nests";
+  let order = Interp.iteration_order env nest in
+  if order = [] then invalid_arg "Trace.ascii_order: empty iteration space";
+  let order =
+    if depth = 1 then List.map (fun it -> [| it.(0); 0 |]) order else order
+  in
+  let xs = List.map (fun it -> it.(0)) order in
+  let ys = List.map (fun it -> it.(1)) order in
+  let xmin = List.fold_left min (List.hd xs) xs in
+  let xmax = List.fold_left max (List.hd xs) xs in
+  let ymin = List.fold_left min (List.hd ys) ys in
+  let ymax = List.fold_left max (List.hd ys) ys in
+  let grid = Array.make_matrix (xmax - xmin + 1) (ymax - ymin + 1) (-1) in
+  List.iteri
+    (fun ord it ->
+      let r = it.(0) - xmin and c = it.(1) - ymin in
+      if grid.(r).(c) < 0 then grid.(r).(c) <- ord)
+    order;
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun c v ->
+          if c > 0 then Buffer.add_char b ' ';
+          if v < 0 then Buffer.add_string b "  ."
+          else Buffer.add_string b (Printf.sprintf "%3d" (v mod 1000)))
+        row;
+      Buffer.add_char b '\n')
+    grid;
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Textual visualization of iteration orders.
+
+    For a 1- or 2-deep nest, draw the iteration space as a grid whose cell
+    values are execution ordinals — the quickest way to {e see} what a
+    transformation did to the traversal (row-major, wavefront, tiles...).
+    Rows are values of the first loop variable, columns of the second, both
+    ascending; cells print modulo 1000. *)
+
+open Itf_ir
+
+val ascii_order : Env.t -> Nest.t -> string
+(** The environment must define the nest's symbolic parameters; the nest is
+    executed (array state changes; declare arrays first if the body stores).
+    @raise Invalid_argument for nests deeper than 2 or with empty spaces. *)

@@ -1,0 +1,165 @@
+open Itf_ir
+module Analysis = Itf_dep.Analysis
+
+(* ------------------------------------------------------------------ *)
+(* Tarjan's strongly connected components.                             *)
+(* Emits components in reverse topological order of the condensation,  *)
+(* which is exactly the execution order distribution needs once        *)
+(* reversed.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sccs ~vertices ~successors =
+  let index = Array.make vertices (-1) in
+  let lowlink = Array.make vertices 0 in
+  let on_stack = Array.make vertices false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (successors v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> assert false
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to vertices - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (* Tarjan yields reverse-topological; !components accumulated by
+     prepending is therefore topological already. *)
+  !components
+
+(* ------------------------------------------------------------------ *)
+(* Distribution                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let distribute (nest : Nest.t) : Program.t =
+  let body = Array.of_list nest.Nest.body in
+  let m = Array.length body in
+  if m <= 1 then [ nest ]
+  else begin
+    let edges = Analysis.statement_edges nest in
+    let succ =
+      Array.make m []
+    in
+    List.iter
+      (fun { Analysis.src; dst; _ } ->
+        if src <> dst && not (List.mem dst succ.(src)) then
+          succ.(src) <- dst :: succ.(src))
+      edges;
+    let components = sccs ~vertices:m ~successors:(fun v -> succ.(v)) in
+    List.map
+      (fun comp ->
+        let comp = List.sort compare comp in
+        { nest with Nest.body = List.map (fun k -> body.(k)) comp })
+      components
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fusion                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let headers_conformable (a : Nest.t) (b : Nest.t) =
+  List.length a.Nest.loops = List.length b.Nest.loops
+  && List.for_all2
+       (fun (la : Nest.loop) (lb : Nest.loop) ->
+         la.Nest.var = lb.Nest.var
+         && Expr.equal la.Nest.lo lb.Nest.lo
+         && Expr.equal la.Nest.hi lb.Nest.hi
+         && Expr.equal la.Nest.step lb.Nest.step
+         && la.Nest.kind = lb.Nest.kind)
+       a.Nest.loops b.Nest.loops
+
+let fuse (a : Nest.t) (b : Nest.t) =
+  if not (headers_conformable a b) then
+    Error "loop headers differ (variables, bounds, steps or kinds)"
+  else if a.Nest.inits <> [] || b.Nest.inits <> [] then
+    Error "nests with initialization statements cannot be fused"
+  else if
+    Analysis.fusion_preventing a ~first:a.Nest.body ~second:b.Nest.body
+  then Error "fusion-preventing dependence (second body reaches a later iteration of the first)"
+  else Ok { a with Nest.body = a.Nest.body @ b.Nest.body }
+
+let rec fuse_all (p : Program.t) : Program.t =
+  match p with
+  | a :: b :: rest -> (
+    match fuse a b with
+    | Ok merged -> fuse_all (merged :: rest)
+    | Error _ -> a :: fuse_all (b :: rest))
+  | p -> p
+
+(* ------------------------------------------------------------------ *)
+(* Unrolling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let unroll ~factor (nest : Nest.t) : Program.t =
+  if factor < 1 then invalid_arg "Statement.unroll: factor must be >= 1";
+  if factor = 1 then [ nest ]
+  else begin
+    let rec split = function
+      | [] -> invalid_arg "Statement.unroll: empty nest"
+      | [ inner ] -> ([], inner)
+      | l :: rest ->
+        let outers, inner = split rest in
+        (l :: outers, inner)
+    in
+    let outers, inner = split nest.Nest.loops in
+    let s =
+      match Expr.to_int inner.Nest.step with
+      | Some s when s <> 0 -> s
+      | _ -> invalid_arg "Statement.unroll: innermost step must be a nonzero constant"
+    in
+    let x = inner.Nest.var in
+    (* count = (hi - lo + s) div s ; g = full groups = count div factor *)
+    let count =
+      Expr.div (Expr.add (Expr.sub inner.Nest.hi inner.Nest.lo) (Expr.int s)) (Expr.int s)
+    in
+    let groups = Expr.div count (Expr.int factor) in
+    let sf = s * factor in
+    (* main: lo .. lo + s*(factor*(g-1)), step s*factor; body replicated
+       with x := x + k*s for k = 0..factor-1 *)
+    let main_hi =
+      Expr.add inner.Nest.lo
+        (Expr.mul (Expr.int s)
+           (Expr.mul (Expr.int factor) (Expr.sub groups Expr.one)))
+    in
+    let shifted k =
+      let env = [ (x, Expr.add (Expr.var x) (Expr.int (k * s))) ] in
+      List.map (Stmt.subst env) nest.Nest.body
+    in
+    let main =
+      {
+        nest with
+        Nest.loops =
+          outers @ [ { inner with Nest.hi = main_hi; step = Expr.int sf } ];
+        body = List.concat (List.init factor shifted);
+      }
+    in
+    (* remainder: lo + s*factor*g .. hi, step s, original body *)
+    let rem_lo =
+      Expr.add inner.Nest.lo (Expr.mul (Expr.int sf) groups)
+    in
+    let remainder =
+      { nest with Nest.loops = outers @ [ { inner with Nest.lo = rem_lo } ] }
+    in
+    [ main; remainder ]
+  end

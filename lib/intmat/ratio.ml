@@ -1,0 +1,58 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let gcd a b = gcd (Stdlib.abs a) (Stdlib.abs b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else begin
+    let s = if den < 0 then -1 else 1 in
+    let num = s * num and den = s * den in
+    if num = 0 then { num = 0; den = 1 }
+    else
+      let g = gcd num den in
+      { num = num / g; den = den / g }
+  end
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+let div a b = if b.num = 0 then raise Division_by_zero else make (a.num * b.den) (a.den * b.num)
+let neg a = { a with num = -a.num }
+let abs a = { a with num = Stdlib.abs a.num }
+let inv a = div one a
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let sign a = Stdlib.compare a.num 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_integer a = a.den = 1
+
+let to_int_exn a =
+  if a.den = 1 then a.num else invalid_arg "Ratio.to_int_exn: not an integer"
+
+(* Floor division on integers: rounds toward negative infinity. *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let floor a = fdiv a.num a.den
+let ceil a = -fdiv (-a.num) a.den
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

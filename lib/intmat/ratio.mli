@@ -1,0 +1,48 @@
+(** Exact rational arithmetic on machine integers.
+
+    Used by Fourier-Motzkin elimination and by the Banerjee bounds in the
+    dependence analyzer, where intermediate values stay small enough for
+    63-bit integers but must be exact. All values are kept in canonical form:
+    positive denominator, numerator and denominator coprime. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the canonical rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val floor : t -> int
+(** Largest integer [<=] the value. *)
+
+val ceil : t -> int
+(** Smallest integer [>=] the value. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,210 @@
+type t =
+  | Int of int
+  | Var of string
+  | Neg of t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Min of t * t
+  | Max of t * t
+  | Load of access
+  | Call of string * t list
+
+and access = { array : string; index : t list }
+
+let int n = Int n
+let var v = Var v
+let zero = Int 0
+let one = Int 1
+
+(* Floor division and its remainder; keep in sync with the executor. *)
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let fmod a b = a - (b * fdiv a b)
+
+let rec neg = function
+  | Int n -> Int (-n)
+  | Neg e -> e
+  | Sub (a, b) -> sub b a
+  | e -> Neg e
+
+and add a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x + y)
+  | Int 0, e | e, Int 0 -> e
+  | Add (e, Int x), Int y | Int y, Add (e, Int x) -> add e (Int (x + y))
+  | Sub (e, Int x), Int y | Int y, Sub (e, Int x) ->
+    if y - x >= 0 then add e (Int (y - x)) else sub e (Int (x - y))
+  | e, Int n when n < 0 -> Sub (e, Int (-n))
+  | Int n, e when n < 0 && n <> min_int -> Sub (e, Int (-n))
+  | a, Neg b -> sub a b
+  | Neg a, b -> sub b a
+  | _ -> Add (a, b)
+
+and sub a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x - y)
+  | e, Int 0 -> e
+  | Add (e, Int x), Int y -> add e (Int (x - y))
+  | Sub (e, Int x), Int y -> sub e (Int (x + y))
+  | e, Int n when n < 0 -> add e (Int (-n))
+  | a, Neg b -> add a b
+  | a, Sub (b, c) when a = b -> c
+  | a, b when a = b -> Int 0
+  | _ -> Sub (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x * y)
+  | Int 0, _ | _, Int 0 -> Int 0
+  | Int 1, e | e, Int 1 -> e
+  | Int (-1), e | e, Int (-1) -> neg e
+  | _ -> Mul (a, b)
+
+let div a b =
+  match (a, b) with
+  | Int x, Int y when y <> 0 -> Int (fdiv x y)
+  | e, Int 1 -> e
+  | _ -> Div (a, b)
+
+let mod_ a b =
+  match (a, b) with
+  | Int x, Int y when y <> 0 -> Int (fmod x y)
+  | _, Int 1 -> Int 0
+  | _ -> Mod (a, b)
+
+let min_ a b =
+  match (a, b) with
+  | Int x, Int y -> Int (Stdlib.min x y)
+  | a, b when a = b -> a
+  | _ -> Min (a, b)
+
+let max_ a b =
+  match (a, b) with
+  | Int x, Int y -> Int (Stdlib.max x y)
+  | a, b when a = b -> a
+  | _ -> Max (a, b)
+
+let min_list = function
+  | [] -> invalid_arg "Expr.min_list: empty"
+  | e :: es -> List.fold_left min_ e es
+
+let max_list = function
+  | [] -> invalid_arg "Expr.max_list: empty"
+  | e :: es -> List.fold_left max_ e es
+
+let ceil_div e c =
+  if c <= 0 then invalid_arg "Expr.ceil_div: non-positive divisor";
+  if c = 1 then e else div (add e (Int (c - 1))) (Int c)
+
+let floor_div e c =
+  if c <= 0 then invalid_arg "Expr.floor_div: non-positive divisor";
+  div e (Int c)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let rec fold_vars f acc = function
+  | Int _ -> acc
+  | Var v -> f acc v
+  | Neg e -> fold_vars f acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Min (a, b) | Max (a, b) ->
+    fold_vars f (fold_vars f acc a) b
+  | Load { index; _ } | Call (_, index) ->
+    List.fold_left (fold_vars f) acc index
+
+let free_vars e =
+  List.sort_uniq String.compare (fold_vars (fun acc v -> v :: acc) [] e)
+
+let rec fold_arrays f acc = function
+  | Int _ | Var _ -> acc
+  | Neg e -> fold_arrays f acc e
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Min (a, b) | Max (a, b) ->
+    fold_arrays f (fold_arrays f acc a) b
+  | Load { array; index } ->
+    List.fold_left (fold_arrays f) (f acc array) index
+  | Call (_, args) -> List.fold_left (fold_arrays f) acc args
+
+let arrays e =
+  List.sort_uniq String.compare (fold_arrays (fun acc a -> a :: acc) [] e)
+
+let mentions v e = List.mem v (free_vars e)
+
+let rec subst env e =
+  match e with
+  | Int _ -> e
+  | Var v -> ( match List.assoc_opt v env with Some e' -> e' | None -> e)
+  | Neg a -> neg (subst env a)
+  | Add (a, b) -> add (subst env a) (subst env b)
+  | Sub (a, b) -> sub (subst env a) (subst env b)
+  | Mul (a, b) -> mul (subst env a) (subst env b)
+  | Div (a, b) -> div (subst env a) (subst env b)
+  | Mod (a, b) -> mod_ (subst env a) (subst env b)
+  | Min (a, b) -> min_ (subst env a) (subst env b)
+  | Max (a, b) -> max_ (subst env a) (subst env b)
+  | Load { array; index } -> Load { array; index = List.map (subst env) index }
+  | Call (f, args) -> (
+    match (f, List.map (subst env) args) with
+    | "abs", [ Int n ] -> Int (Stdlib.abs n)
+    | "sgn", [ Int n ] -> Int (Stdlib.compare n 0)
+    | f, args -> Call (f, args))
+
+let simplify e = subst [] e
+
+let to_int e = match simplify e with Int n -> Some n | _ -> None
+
+(* Precedence climbing for readable output:
+   0 = min/max/call atoms handled separately, additive = 1,
+   multiplicative = 2, unary = 3, atom = 4. *)
+let rec pp_prec prec ppf e =
+  let paren p body =
+    if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Int n ->
+    if n < 0 then paren 3 (fun ppf -> Format.fprintf ppf "%d" n)
+    else Format.fprintf ppf "%d" n
+  | Var v -> Format.fprintf ppf "%s" v
+  | Neg a -> paren 3 (fun ppf -> Format.fprintf ppf "-%a" (pp_prec 4) a)
+  | Add (a, b) ->
+    paren 1 (fun ppf -> Format.fprintf ppf "%a + %a" (pp_prec 1) a (pp_prec 2) b)
+  | Sub (a, b) ->
+    paren 1 (fun ppf -> Format.fprintf ppf "%a - %a" (pp_prec 1) a (pp_prec 2) b)
+  | Mul (a, b) ->
+    paren 2 (fun ppf -> Format.fprintf ppf "%a * %a" (pp_prec 2) a (pp_prec 3) b)
+  | Div (a, b) ->
+    paren 2 (fun ppf -> Format.fprintf ppf "%a / %a" (pp_prec 2) a (pp_prec 3) b)
+  | Mod (a, b) ->
+    paren 2 (fun ppf ->
+        Format.fprintf ppf "%a mod %a" (pp_prec 2) a (pp_prec 3) b)
+  | Min (_, _) ->
+    let rec flatten = function
+      | Min (a, b) -> flatten a @ flatten b
+      | e -> [ e ]
+    in
+    Format.fprintf ppf "min(%a)" pp_args (flatten e)
+  | Max (_, _) ->
+    let rec flatten = function
+      | Max (a, b) -> flatten a @ flatten b
+      | e -> [ e ]
+    in
+    Format.fprintf ppf "max(%a)" pp_args (flatten e)
+  | Load a -> pp_access ppf a
+  | Call (f, args) -> Format.fprintf ppf "%s(%a)" f pp_args args
+
+and pp_args ppf = function
+  | [] -> ()
+  | [ e ] -> pp_prec 0 ppf e
+  | e :: rest -> Format.fprintf ppf "%a, %a" (pp_prec 0) e pp_args rest
+
+and pp_access ppf { array; index } =
+  Format.fprintf ppf "%s(%a)" array pp_args index
+
+let pp = pp_prec 0
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,86 @@
+type rel = Lt | Le | Gt | Ge | Eq | Ne
+
+type t =
+  | Store of Expr.access * Expr.t
+  | Set of string * Expr.t
+  | Guard of guard
+
+and guard = { lhs : Expr.t; rel : rel; rhs : Expr.t; body : t list }
+
+let holds rel a b =
+  match rel with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let equal (a : t) (b : t) = a = b
+
+let rec free_vars = function
+  | Store ({ index; _ }, rhs) ->
+    List.sort_uniq String.compare
+      (List.concat_map Expr.free_vars (rhs :: index))
+  | Set (_, rhs) -> Expr.free_vars rhs
+  | Guard { lhs; rel = _; rhs; body } ->
+    List.sort_uniq String.compare
+      (Expr.free_vars lhs @ Expr.free_vars rhs
+      @ List.concat_map free_vars body)
+
+let defined_var = function
+  | Set (x, _) -> Some x
+  | Store _ | Guard _ -> None
+
+let rec defined_vars = function
+  | Set (x, _) -> [ x ]
+  | Store _ -> []
+  | Guard { body; _ } -> List.concat_map defined_vars body
+
+let rec arrays_read = function
+  | Store ({ index; _ }, rhs) ->
+    List.sort_uniq String.compare (List.concat_map Expr.arrays (rhs :: index))
+  | Set (_, rhs) -> Expr.arrays rhs
+  | Guard { lhs; rhs; body; _ } ->
+    List.sort_uniq String.compare
+      (Expr.arrays lhs @ Expr.arrays rhs @ List.concat_map arrays_read body)
+
+let rec arrays_written = function
+  | Store ({ array; _ }, _) -> [ array ]
+  | Set _ -> []
+  | Guard { body; _ } ->
+    List.sort_uniq String.compare (List.concat_map arrays_written body)
+
+let rec subst env = function
+  | Store ({ array; index }, rhs) ->
+    Store
+      ({ array; index = List.map (Expr.subst env) index }, Expr.subst env rhs)
+  | Set (x, rhs) -> Set (x, Expr.subst env rhs)
+  | Guard { lhs; rel; rhs; body } ->
+    Guard
+      {
+        lhs = Expr.subst env lhs;
+        rel;
+        rhs = Expr.subst env rhs;
+        body = List.map (subst env) body;
+      }
+
+let pp_rel ppf rel =
+  Format.pp_print_string ppf
+    (match rel with
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | Eq -> "=="
+    | Ne -> "!=")
+
+let rec pp ppf = function
+  | Store (a, rhs) -> Format.fprintf ppf "%a = %a" Expr.pp_access a Expr.pp rhs
+  | Set (x, rhs) -> Format.fprintf ppf "%s = %a" x Expr.pp rhs
+  | Guard { lhs; rel; rhs; body } ->
+    Format.fprintf ppf "@[<v>if %a %a %a@,%a@,endif@]" Expr.pp lhs pp_rel rel
+      Expr.pp rhs
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf s ->
+           Format.fprintf ppf "  %a" pp s))
+      body

@@ -1,0 +1,144 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | DO
+  | PARDO
+  | ENDDO
+  | IF
+  | ENDIF
+  | FUNCTION
+  | MIN
+  | MAX
+  | MOD
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | NEWLINE
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let keyword = function
+  | "do" -> Some DO
+  | "pardo" -> Some PARDO
+  | "enddo" -> Some ENDDO
+  | "if" -> Some IF
+  | "endif" -> Some ENDIF
+  | "function" -> Some FUNCTION
+  | "min" -> Some MIN
+  | "max" -> Some MAX
+  | "mod" -> Some MOD
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokens src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let emit t = out := (t, !line) :: !out in
+  let pos = ref 0 in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      (match !out with (NEWLINE, _) :: _ | [] -> () | _ -> emit NEWLINE);
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '#' then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do
+        incr pos
+      done;
+      emit (INT (int_of_string (String.sub src start (!pos - start))))
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      emit (match keyword word with Some t -> t | None -> IDENT word)
+    end
+    else begin
+      let two = !pos + 1 < n in
+      (match c with
+      | '+' -> emit PLUS
+      | '-' -> emit MINUS
+      | '*' -> emit STAR
+      | '/' -> emit SLASH
+      | '(' -> emit LPAREN
+      | ')' -> emit RPAREN
+      | ',' -> emit COMMA
+      | '<' when two && src.[!pos + 1] = '=' ->
+        emit LE;
+        incr pos
+      | '<' -> emit LT
+      | '>' when two && src.[!pos + 1] = '=' ->
+        emit GE;
+        incr pos
+      | '>' -> emit GT
+      | '=' when two && src.[!pos + 1] = '=' ->
+        emit EQEQ;
+        incr pos
+      | '=' -> emit EQUALS
+      | '!' when two && src.[!pos + 1] = '=' ->
+        emit NEQ;
+        incr pos
+      | c ->
+        raise
+          (Error
+             { line = !line; message = Printf.sprintf "unexpected character %C" c }));
+      incr pos
+    end
+  done;
+  (match !out with (NEWLINE, _) :: _ | [] -> () | _ -> emit NEWLINE);
+  emit EOF;
+  List.rev !out
+
+let pp_token ppf = function
+  | INT n -> Format.fprintf ppf "%d" n
+  | IDENT s -> Format.fprintf ppf "%s" s
+  | DO -> Format.fprintf ppf "do"
+  | PARDO -> Format.fprintf ppf "pardo"
+  | ENDDO -> Format.fprintf ppf "enddo"
+  | IF -> Format.fprintf ppf "if"
+  | ENDIF -> Format.fprintf ppf "endif"
+  | FUNCTION -> Format.fprintf ppf "function"
+  | MIN -> Format.fprintf ppf "min"
+  | MAX -> Format.fprintf ppf "max"
+  | MOD -> Format.fprintf ppf "mod"
+  | PLUS -> Format.fprintf ppf "+"
+  | MINUS -> Format.fprintf ppf "-"
+  | STAR -> Format.fprintf ppf "*"
+  | SLASH -> Format.fprintf ppf "/"
+  | LPAREN -> Format.fprintf ppf "("
+  | RPAREN -> Format.fprintf ppf ")"
+  | COMMA -> Format.fprintf ppf ","
+  | EQUALS -> Format.fprintf ppf "="
+  | LT -> Format.fprintf ppf "<"
+  | LE -> Format.fprintf ppf "<="
+  | GT -> Format.fprintf ppf ">"
+  | GE -> Format.fprintf ppf ">="
+  | EQEQ -> Format.fprintf ppf "=="
+  | NEQ -> Format.fprintf ppf "!="
+  | NEWLINE -> Format.fprintf ppf "<newline>"
+  | EOF -> Format.fprintf ppf "<eof>"

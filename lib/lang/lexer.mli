@@ -1,0 +1,43 @@
+(** Hand-written lexer for the small loop language.
+
+    The syntax is the paper's: [do]/[pardo] loop headers with comma-
+    separated bounds, [enddo], Fortran-style array references [a(i, j)],
+    infix [+ - * /] (floor division), infix [mod], [min]/[max] calls, and
+    [#] line comments. Newlines are significant (statement separators). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | DO
+  | PARDO
+  | ENDDO
+  | IF
+  | ENDIF
+  | FUNCTION
+  | MIN
+  | MAX
+  | MOD
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | EQUALS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NEQ
+  | NEWLINE
+  | EOF
+
+exception Error of { line : int; message : string }
+
+val tokens : string -> (token * int) list
+(** Token stream with line numbers; consecutive NEWLINEs are collapsed and
+    a final EOF is appended. @raise Error on an unexpected character. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,313 @@
+open Itf_ir
+
+type program = { functions : string list; nest : Nest.t }
+
+exception Error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+(* Mutable token cursor. *)
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with [] -> (Lexer.EOF, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  let t, line = peek st in
+  if t = tok then advance st else fail line "expected %s, found %a" what Lexer.pp_token t
+
+let skip_newlines st =
+  while fst (peek st) = Lexer.NEWLINE do
+    advance st
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expression st = parse_additive st
+
+and parse_additive st =
+  let lhs = ref (parse_multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match fst (peek st) with
+    | Lexer.PLUS ->
+      advance st;
+      lhs := Expr.Add (!lhs, parse_multiplicative st)
+    | Lexer.MINUS ->
+      advance st;
+      lhs := Expr.Sub (!lhs, parse_multiplicative st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_multiplicative st =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match fst (peek st) with
+    | Lexer.STAR ->
+      advance st;
+      lhs := Expr.Mul (!lhs, parse_unary st)
+    | Lexer.SLASH ->
+      advance st;
+      lhs := Expr.Div (!lhs, parse_unary st)
+    | Lexer.MOD ->
+      advance st;
+      lhs := Expr.Mod (!lhs, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match fst (peek st) with
+  | Lexer.MINUS ->
+    advance st;
+    Expr.Neg (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  let t, line = peek st in
+  match t with
+  | Lexer.INT n ->
+    advance st;
+    Expr.Int n
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expression st in
+    expect st Lexer.RPAREN ")";
+    e
+  | Lexer.MIN | Lexer.MAX ->
+    advance st;
+    expect st Lexer.LPAREN "( after min/max";
+    let args = parse_args st in
+    expect st Lexer.RPAREN ")";
+    if args = [] then fail line "min/max need at least one argument"
+    else if t = Lexer.MIN then Expr.min_list args
+    else Expr.max_list args
+  | Lexer.IDENT name -> (
+    advance st;
+    match fst (peek st) with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN ")";
+      if args = [] then fail line "empty subscript list for %s" name;
+      (* Resolved to Call later if [name] is a declared function. *)
+      Expr.Load { array = name; index = args }
+    | _ -> Expr.Var name)
+  | t -> fail line "expected an expression, found %a" Lexer.pp_token t
+
+and parse_args st =
+  let first = parse_expression st in
+  let rec more acc =
+    match fst (peek st) with
+    | Lexer.COMMA ->
+      advance st;
+      more (parse_expression st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Function resolution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec resolve funcs (e : Expr.t) =
+  match e with
+  | Int _ | Var _ -> e
+  | Neg a -> Expr.Neg (resolve funcs a)
+  | Add (a, b) -> Expr.Add (resolve funcs a, resolve funcs b)
+  | Sub (a, b) -> Expr.Sub (resolve funcs a, resolve funcs b)
+  | Mul (a, b) -> Expr.Mul (resolve funcs a, resolve funcs b)
+  | Div (a, b) -> Expr.Div (resolve funcs a, resolve funcs b)
+  | Mod (a, b) -> Expr.Mod (resolve funcs a, resolve funcs b)
+  | Min (a, b) -> Expr.Min (resolve funcs a, resolve funcs b)
+  | Max (a, b) -> Expr.Max (resolve funcs a, resolve funcs b)
+  | Load { array; index } ->
+    let index = List.map (resolve funcs) index in
+    if List.mem array funcs then Expr.Call (array, index)
+    else Expr.Load { array; index }
+  | Call (f, args) -> Expr.Call (f, List.map (resolve funcs) args)
+
+(* ------------------------------------------------------------------ *)
+(* Statements and loops                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_statement st =
+  let t, line = peek st in
+  match t with
+  | Lexer.IF ->
+    advance st;
+    let lhs = parse_expression st in
+    let rel =
+      match peek st with
+      | Lexer.LT, _ -> advance st; Stmt.Lt
+      | Lexer.LE, _ -> advance st; Stmt.Le
+      | Lexer.GT, _ -> advance st; Stmt.Gt
+      | Lexer.GE, _ -> advance st; Stmt.Ge
+      | Lexer.EQEQ, _ -> advance st; Stmt.Eq
+      | Lexer.NEQ, _ -> advance st; Stmt.Ne
+      | t, line -> fail line "expected a relation, found %a" Lexer.pp_token t
+    in
+    let rhs = parse_expression st in
+    expect st Lexer.NEWLINE "end of if header";
+    skip_newlines st;
+    let body = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      skip_newlines st;
+      match fst (peek st) with
+      | Lexer.ENDIF | Lexer.EOF -> continue_ := false
+      | _ -> body := parse_statement st :: !body
+    done;
+    expect st Lexer.ENDIF "endif";
+    expect st Lexer.NEWLINE "end of line";
+    if !body = [] then fail line "empty if body";
+    Stmt.Guard { lhs; rel; rhs; body = List.rev !body }
+  | Lexer.IDENT name -> (
+    advance st;
+    match fst (peek st) with
+    | Lexer.LPAREN ->
+      advance st;
+      let index = parse_args st in
+      expect st Lexer.RPAREN ")";
+      expect st Lexer.EQUALS "=";
+      let rhs = parse_expression st in
+      expect st Lexer.NEWLINE "end of line";
+      Stmt.Store ({ array = name; index }, rhs)
+    | Lexer.EQUALS ->
+      advance st;
+      let rhs = parse_expression st in
+      expect st Lexer.NEWLINE "end of line";
+      Stmt.Set (name, rhs)
+    | t -> fail line "expected ( or = after %s, found %a" name Lexer.pp_token t)
+  | t -> fail line "expected a statement, found %a" Lexer.pp_token t
+
+let rec parse_loop st =
+  let kind_tok, line = peek st in
+  let kind =
+    match kind_tok with
+    | Lexer.DO -> Nest.Do
+    | Lexer.PARDO -> Nest.Pardo
+    | t -> fail line "expected do or pardo, found %a" Lexer.pp_token t
+  in
+  advance st;
+  let var =
+    match peek st with
+    | Lexer.IDENT v, _ ->
+      advance st;
+      v
+    | t, line -> fail line "expected a loop variable, found %a" Lexer.pp_token t
+  in
+  expect st Lexer.EQUALS "=";
+  let lo = parse_expression st in
+  expect st Lexer.COMMA ", between bounds";
+  let hi = parse_expression st in
+  let step =
+    match fst (peek st) with
+    | Lexer.COMMA ->
+      advance st;
+      parse_expression st
+    | _ -> Expr.one
+  in
+  expect st Lexer.NEWLINE "end of loop header";
+  skip_newlines st;
+  (* Either a nested loop (perfect nesting) or the innermost body. *)
+  let loops, body =
+    match fst (peek st) with
+    | Lexer.DO | Lexer.PARDO ->
+      let inner_loops, body = parse_loop st in
+      (inner_loops, body)
+    | _ ->
+      let stmts = ref [] in
+      let continue_ = ref true in
+      while !continue_ do
+        skip_newlines st;
+        match fst (peek st) with
+        | Lexer.ENDDO | Lexer.EOF -> continue_ := false
+        | _ -> stmts := parse_statement st :: !stmts
+      done;
+      ([], List.rev !stmts)
+  in
+  skip_newlines st;
+  expect st Lexer.ENDDO "enddo";
+  (match fst (peek st) with Lexer.NEWLINE -> advance st | _ -> ());
+  ({ Nest.var; lo; hi; step; kind } :: loops, body)
+
+let parse src =
+  let st =
+    try { toks = Lexer.tokens src }
+    with Lexer.Error { line; message } -> raise (Error { line; message })
+  in
+  skip_newlines st;
+  let functions = ref [ "abs"; "sgn" ] in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.FUNCTION, line ->
+      advance st;
+      (match peek st with
+      | Lexer.IDENT f, _ ->
+        advance st;
+        functions := f :: !functions;
+        expect st Lexer.NEWLINE "end of line";
+        skip_newlines st
+      | t, _ -> fail line "expected a function name, found %a" Lexer.pp_token t)
+    | _ -> continue_ := false
+  done;
+  let loops, body = parse_loop st in
+  skip_newlines st;
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, line -> fail line "trailing input: %a" Lexer.pp_token t);
+  let funcs = !functions in
+  let fix_loop (l : Nest.loop) =
+    {
+      l with
+      Nest.lo = resolve funcs l.Nest.lo;
+      hi = resolve funcs l.Nest.hi;
+      step = resolve funcs l.Nest.step;
+    }
+  in
+  let rec fix_stmt = function
+    | Stmt.Store ({ Expr.array; index }, rhs) ->
+      if List.mem array funcs then
+        raise
+          (Error { line = 0; message = "cannot assign to function " ^ array })
+      else
+        Stmt.Store
+          ( { Expr.array; index = List.map (resolve funcs) index },
+            resolve funcs rhs )
+    | Stmt.Set (v, rhs) -> Stmt.Set (v, resolve funcs rhs)
+    | Stmt.Guard { lhs; rel; rhs; body } ->
+      Stmt.Guard
+        {
+          lhs = resolve funcs lhs;
+          rel;
+          rhs = resolve funcs rhs;
+          body = List.map fix_stmt body;
+        }
+  in
+  let nest =
+    try Nest.make (List.map fix_loop loops) (List.map fix_stmt body)
+    with Invalid_argument message -> raise (Error { line = 0; message })
+  in
+  { functions = List.filter (fun f -> f <> "abs" && f <> "sgn") funcs; nest }
+
+let parse_nest src = (parse src).nest
+
+let parse_expr src =
+  let st =
+    try { toks = Lexer.tokens src }
+    with Lexer.Error { line; message } -> raise (Error { line; message })
+  in
+  skip_newlines st;
+  let e = parse_expression st in
+  skip_newlines st;
+  (match peek st with
+  | Lexer.EOF, _ -> ()
+  | t, line -> fail line "trailing input after expression: %a" Lexer.pp_token t);
+  e

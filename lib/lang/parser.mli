@@ -1,0 +1,38 @@
+(** Recursive-descent parser for the loop language.
+
+    A program is a perfect loop nest, optionally preceded by [function]
+    directives naming loop-invariant access functions (the sparse-matrix
+    example of paper Figure 4(c) declares [colstr] and [rowidx] this way);
+    every other applied identifier is an array reference:
+
+    {v
+      function colstr
+      function rowidx
+      do i = 1, n
+        do j = 1, n
+          do k = colstr(j), colstr(j + 1) - 1
+            a(i, j) = a(i, j) + b(i, rowidx(k)) * c(k)
+          enddo
+        enddo
+      enddo
+    v}
+
+    ["abs"] and ["sgn"] are always treated as functions. *)
+
+type program = {
+  functions : string list;  (** declared access functions *)
+  nest : Itf_ir.Nest.t;
+}
+
+exception Error of { line : int; message : string }
+
+val parse : string -> program
+(** @raise Error on syntax errors, non-perfect nesting, or statements
+    outside the innermost loop. Lexer errors are re-raised as [Error]. *)
+
+val parse_nest : string -> Itf_ir.Nest.t
+(** Just the nest of [parse]. *)
+
+val parse_expr : string -> Itf_ir.Expr.t
+(** Parse a single expression (used by the transformation-script parser
+    for symbolic block sizes). Applied identifiers become array loads. *)

@@ -1,0 +1,71 @@
+type config = { size_bytes : int; line_bytes : int; assoc : int }
+
+let direct_mapped ~size_bytes ~line_bytes = { size_bytes; line_bytes; assoc = 1 }
+
+let fully_associative ~size_bytes ~line_bytes =
+  { size_bytes; line_bytes; assoc = size_bytes / line_bytes }
+
+type stats = { accesses : int; hits : int; misses : int }
+
+let miss_rate s = if s.accesses = 0 then 0. else float s.misses /. float s.accesses
+
+type t = {
+  config : config;
+  sets : int;
+  tags : int array;  (** sets x assoc, -1 = invalid *)
+  ages : int array;  (** LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+}
+
+let create config =
+  if config.line_bytes <= 0 || config.size_bytes <= 0 || config.assoc <= 0 then
+    invalid_arg "Cache.create: non-positive geometry";
+  if config.size_bytes mod (config.line_bytes * config.assoc) <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of line * assoc";
+  let sets = config.size_bytes / config.line_bytes / config.assoc in
+  {
+    config;
+    sets;
+    tags = Array.make (sets * config.assoc) (-1);
+    ages = Array.make (sets * config.assoc) 0;
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+  }
+
+let access t addr =
+  let line = addr / t.config.line_bytes in
+  let set = ((line mod t.sets) + t.sets) mod t.sets in
+  let base = set * t.config.assoc in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let hit_way = ref (-1) in
+  for w = 0 to t.config.assoc - 1 do
+    if t.tags.(base + w) = line then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.ages.(base + !hit_way) <- t.clock;
+    true
+  end
+  else begin
+    (* Evict the least recently used way (empty ways have age 0). *)
+    let victim = ref 0 in
+    for w = 1 to t.config.assoc - 1 do
+      if t.ages.(base + w) < t.ages.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- line;
+    t.ages.(base + !victim) <- t.clock;
+    false
+  end
+
+let stats t = { accesses = t.accesses; hits = t.hits; misses = t.accesses - t.hits }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.ages 0 (Array.length t.ages) 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.hits <- 0

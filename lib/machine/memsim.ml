@@ -1,0 +1,35 @@
+open Itf_ir
+
+type result = { cache : Cache.stats; cycles : int }
+
+let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
+  let cache = Cache.create config in
+  (* Assign line-aligned base addresses to every array of the nest. *)
+  let align n a = (n + a - 1) / a * a in
+  let bases = Hashtbl.create 8 in
+  let next = ref 0 in
+  let base_of array =
+    match Hashtbl.find_opt bases array with
+    | Some b -> b
+    | None ->
+      let b = !next in
+      Hashtbl.add bases array b;
+      next :=
+        align (b + (Itf_exec.Env.array_size env array * elem_bytes)) config.Cache.line_bytes;
+      b
+  in
+  List.iter
+    (fun a -> ignore (base_of a))
+    (List.sort_uniq compare (Nest.arrays_read nest @ Nest.arrays_written nest));
+  Itf_exec.Env.set_tracer env
+    (Some
+       (fun { Itf_exec.Env.array; flat; _ } ->
+         ignore (Cache.access cache (base_of array + (flat * elem_bytes)))));
+  Fun.protect
+    ~finally:(fun () -> Itf_exec.Env.set_tracer env None)
+    (fun () -> Itf_exec.Interp.run env nest);
+  let stats = Cache.stats cache in
+  {
+    cache = stats;
+    cycles = (stats.Cache.accesses * hit_cost) + (stats.Cache.misses * miss_penalty);
+  }

@@ -1,0 +1,25 @@
+(** Memory-hierarchy simulation of a loop nest execution.
+
+    Lays the environment's arrays out contiguously (each base aligned to a
+    cache line), executes the nest with a tracer that feeds every element
+    access to a {!Cache}, and reports miss statistics plus a simple cycle
+    model [cycles = accesses * hit_cost + misses * miss_penalty]. *)
+
+open Itf_ir
+
+type result = {
+  cache : Cache.stats;
+  cycles : int;
+}
+
+val run :
+  ?elem_bytes:int ->
+  ?hit_cost:int ->
+  ?miss_penalty:int ->
+  Cache.config ->
+  Itf_exec.Env.t ->
+  Nest.t ->
+  result
+(** [run config env nest] executes [nest] in [env] (mutating its arrays)
+    while simulating the cache. Defaults: 8-byte elements, 1-cycle hits,
+    30-cycle miss penalty. *)

@@ -1,0 +1,55 @@
+open Itf_ir
+
+let rec expr_ops (e : Expr.t) =
+  match e with
+  | Int _ | Var _ -> 0
+  | Neg a -> 1 + expr_ops a
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+  | Min (a, b) | Max (a, b) ->
+    1 + expr_ops a + expr_ops b
+  | Load { index; _ } -> 1 + List.fold_left (fun acc e -> acc + expr_ops e) 0 index
+  | Call (_, args) -> 1 + List.fold_left (fun acc e -> acc + expr_ops e) 0 args
+
+let rec stmt_ops = function
+  | Stmt.Store ({ index; _ }, rhs) ->
+    1 + expr_ops rhs + List.fold_left (fun acc e -> acc + expr_ops e) 0 index
+  | Stmt.Set (_, rhs) -> 1 + expr_ops rhs
+  | Stmt.Guard { lhs; rhs; body; _ } ->
+    (* worst case: the guard holds and the whole body runs *)
+    1 + expr_ops lhs + expr_ops rhs
+    + List.fold_left (fun acc s -> acc + stmt_ops s) 0 body
+
+let body_cost (nest : Nest.t) =
+  max 1 (List.fold_left (fun acc s -> acc + stmt_ops s) 0 (nest.Nest.inits @ nest.Nest.body))
+
+let time ?(spawn_overhead = 2.0) ~procs env (nest : Nest.t) =
+  if procs < 1 then invalid_arg "Parallel.time: procs < 1";
+  let unit_cost = float (body_cost nest) in
+  let rec go = function
+    | [] -> unit_cost
+    | (l : Nest.loop) :: rest ->
+      let values = Itf_exec.Interp.iteration_values env l in
+      let times =
+        Array.map
+          (fun x ->
+            Itf_exec.Env.set_scalar env l.Nest.var x;
+            go rest)
+          values
+      in
+      (match l.Nest.kind with
+      | Nest.Do -> Array.fold_left ( +. ) 0. times
+      | Nest.Pardo ->
+        (* Round-robin assignment: processor p runs iterations p, p+P... *)
+        let proc_time = Array.make procs 0. in
+        Array.iteri
+          (fun k t -> proc_time.(k mod procs) <- proc_time.(k mod procs) +. t)
+          times;
+        Array.fold_left max 0. proc_time
+        +. if Array.length values > 0 then spawn_overhead else 0.)
+  in
+  go nest.Nest.loops
+
+let speedup ?spawn_overhead ~procs env nest =
+  let t1 = time ?spawn_overhead ~procs:1 env nest in
+  let tp = time ?spawn_overhead ~procs env nest in
+  if tp = 0. then 1. else t1 /. tp

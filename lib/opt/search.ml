@@ -1,0 +1,163 @@
+open Itf_ir
+module Template = Itf_core.Template
+module Framework = Itf_core.Framework
+
+type objective = Framework.result -> float
+
+type outcome = {
+  sequence : Itf_core.Sequence.t;
+  result : Framework.result;
+  score : float;
+  explored : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Moves                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let moves ?(block_sizes = [ 4; 8 ]) (_ : Nest.t) ~depth =
+  let n = depth in
+  let interchanges =
+    List.concat
+      (List.init n (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some (Template.interchange ~n a b) else None)
+             (List.init n Fun.id)))
+  in
+  let reversals = List.init n (fun k -> Template.reversal ~n k) in
+  let skews =
+    if n < 2 then []
+    else
+      List.concat
+        (List.init (n - 1) (fun k ->
+             [
+               Template.skew ~n ~src:k ~dst:(k + 1) ~factor:1;
+               Template.skew ~n ~src:k ~dst:(k + 1) ~factor:(-1);
+             ]))
+  in
+  let parallelizations = List.init n (fun k -> Template.parallelize_one ~n k) in
+  let blocks =
+    if n > 3 then []
+    else
+      List.concat_map
+        (fun bs ->
+          List.concat
+            (List.init n (fun i ->
+                 List.filter_map
+                   (fun j ->
+                     if i <= j then
+                       Some
+                         (Template.block ~n ~i ~j
+                            ~bsize:(Array.make (j - i + 1) (Expr.int bs)))
+                     else None)
+                   (List.init n Fun.id))))
+        block_sizes
+  in
+  let coalesces = if n >= 2 then [ Template.coalesce ~n ~i:0 ~j:(n - 1) ] else [] in
+  interchanges @ reversals @ skews @ parallelizations @ blocks @ coalesces
+
+(* ------------------------------------------------------------------ *)
+(* Beam search                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let best ?(beam = 6) ?(steps = 3) ?block_sizes nest objective =
+  let explored = ref 0 in
+  let vectors = Itf_dep.Analysis.vectors nest in
+  let try_seq seq =
+    incr explored;
+    match Framework.apply ~vectors nest seq with
+    | Ok result -> (
+      match objective result with
+      | score when Float.is_nan score -> None
+      | score -> Some (seq, result, score)
+      | exception _ -> None)
+    | Error _ -> None
+  in
+  match try_seq [] with
+  | None -> None
+  | Some start ->
+    let bests = ref [ start ] in
+    let frontier = ref [ start ] in
+    for _ = 1 to steps do
+      let expansions =
+        List.concat_map
+          (fun (seq, result, _) ->
+            let depth = Nest.depth result.Framework.nest in
+            List.filter_map
+              (fun t -> try_seq (seq @ [ t ]))
+              (moves ?block_sizes nest ~depth))
+          !frontier
+      in
+      let sorted =
+        List.sort (fun (_, _, a) (_, _, b) -> compare a b) expansions
+      in
+      let top = List.filteri (fun k _ -> k < beam) sorted in
+      frontier := top;
+      bests := top @ !bests
+    done;
+    let seq, result, score =
+      List.hd (List.sort (fun (_, _, a) (_, _, b) -> compare a b) !bests)
+    in
+    Some { sequence = seq; result; score; explored = !explored }
+
+(* ------------------------------------------------------------------ *)
+(* Objectives                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Arrays referenced by a nest, with arity (duplicated from the test
+   oracle: intentionally local, the optimizer must not depend on tests). *)
+let array_arities (nest : Nest.t) =
+  let tbl = Hashtbl.create 8 in
+  let rec expr (e : Expr.t) =
+    match e with
+    | Int _ | Var _ -> ()
+    | Neg a -> expr a
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b)
+    | Min (a, b) | Max (a, b) ->
+      expr a;
+      expr b
+    | Load { array; index } ->
+      Hashtbl.replace tbl array (List.length index);
+      List.iter expr index
+    | Call (_, args) -> List.iter expr args
+  in
+  let rec stmt = function
+    | Stmt.Store ({ array; index }, rhs) ->
+      Hashtbl.replace tbl array (List.length index);
+      List.iter expr index;
+      expr rhs
+    | Stmt.Set (_, rhs) -> expr rhs
+    | Stmt.Guard { lhs; rhs; body; _ } ->
+      expr lhs;
+      expr rhs;
+      List.iter stmt body
+  in
+  List.iter stmt (nest.Nest.inits @ nest.Nest.body);
+  Hashtbl.fold (fun a k acc -> (a, k) :: acc) tbl [] |> List.sort compare
+
+let make_env ~params nest =
+  let env = Itf_exec.Env.create () in
+  List.iter (fun (v, x) -> Itf_exec.Env.set_scalar env v x) params;
+  let m = List.fold_left (fun acc (_, x) -> max acc (abs x)) 8 params in
+  List.iter
+    (fun (a, arity) ->
+      Itf_exec.Env.declare_array env a
+        (List.init arity (fun _ -> (-2 * m, 3 * m)));
+      let data = Itf_exec.Env.array_data env a in
+      Array.iteri (fun k _ -> data.(k) <- (k * 31) mod 97) data)
+    (array_arities nest);
+  env
+
+let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 })
+    ~params () : objective =
+ fun result ->
+  let nest = result.Framework.nest in
+  let env = make_env ~params nest in
+  let r = Itf_machine.Memsim.run config env nest in
+  float r.Itf_machine.Memsim.cache.Itf_machine.Cache.misses
+
+let parallel_time ?spawn_overhead ~procs ~params () : objective =
+ fun result ->
+  let nest = result.Framework.nest in
+  let env = make_env ~params nest in
+  Itf_machine.Parallel.time ?spawn_overhead ~procs env nest

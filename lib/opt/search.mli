@@ -1,0 +1,58 @@
+(** Automatic transformation selection — the paper's stated "main direction
+    for future work ... using this framework in an automatic transformation
+    system, so as to optimize loop nests for data locality [and] parallel
+    execution" (Section 6).
+
+    The search exploits the framework's separation of transformations from
+    loop nests (Section 5): candidate sequences are built, legality-checked
+    and scored without mutating the nest; only the winner's generated code
+    is returned. Search is beam search over template "moves"; every
+    explored sequence passes through {!Itf_core.Legality}, so only legal
+    transformations are ever scored. *)
+
+open Itf_ir
+
+type objective = Itf_core.Framework.result -> float
+(** Lower is better. Receives the legality-checked result (transformed
+    nest plus mapped dependence vectors). *)
+
+type outcome = {
+  sequence : Itf_core.Sequence.t;
+  result : Itf_core.Framework.result;
+  score : float;
+  explored : int;  (** number of candidate sequences legality-checked *)
+}
+
+val moves : ?block_sizes:int list -> Nest.t -> depth:int -> Itf_core.Template.t list
+(** Candidate single-template moves for a nest currently [depth] deep:
+    all interchanges and reversals, unit skews of adjacent loop pairs,
+    single-loop parallelization, square blocking of contiguous ranges with
+    each size in [block_sizes] (default [[4; 8]]), and full coalescing. *)
+
+val best :
+  ?beam:int ->
+  ?steps:int ->
+  ?block_sizes:int list ->
+  Nest.t ->
+  objective ->
+  outcome option
+(** [best nest objective] beam-searches sequences of at most [steps]
+    (default 3) moves keeping the [beam] (default 6) best scored prefixes;
+    returns [None] when not even the empty sequence is scoreable. The
+    empty sequence is always a candidate, so the result never scores worse
+    than the original nest. *)
+
+(** {1 Ready-made objectives} *)
+
+val cache_misses :
+  ?config:Itf_machine.Cache.config -> params:(string * int) list ->
+  unit -> objective
+(** Simulated cache misses of one full execution. Arrays are freshly
+    allocated per evaluation from the nest's own access pattern with
+    subscript range inferred by probing, so transformed nests score on
+    identical data. *)
+
+val parallel_time :
+  ?spawn_overhead:float -> procs:int -> params:(string * int) list ->
+  unit -> objective
+(** Simulated parallel execution time on [procs] processors. *)

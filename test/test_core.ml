@@ -1,0 +1,681 @@
+(* Tests for the framework core: templates, Table 2 dependence mapping,
+   sequence composition, Tables 3-4 code generation, and the uniform
+   legality test — including the paper's Figures 1, 2, 4 and the Appendix A
+   matrix-multiply pipeline. *)
+
+open Itf_ir
+module Dir = Itf_dep.Dir
+module Depvec = Itf_dep.Depvec
+module Template = Itf_core.Template
+module Depmap = Itf_core.Depmap
+module Sequence = Itf_core.Sequence
+module Codegen = Itf_core.Codegen
+module Legality = Itf_core.Legality
+module Framework = Itf_core.Framework
+module Intmat = Itf_mat.Intmat
+
+let v = Depvec.of_string
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let dv = Alcotest.testable Depvec.pp Depvec.equal
+let vecs_str vs = List.sort compare (List.map Depvec.to_string vs)
+
+(* ------------------------------------------------------------------ *)
+(* Template validation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_template_validation () =
+  check_bool "non-unimodular rejected" true
+    (match Template.unimodular (Intmat.of_rows [ [ 2 ] ]) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bad perm rejected" true
+    (match Template.reverse_permute ~rev:[| false; false |] ~perm:[| 0; 0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bad range rejected" true
+    (match Template.block ~n:3 ~i:2 ~j:1 ~bsize:[||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bsize arity" true
+    (match Template.block ~n:3 ~i:0 ~j:1 ~bsize:[| Expr.int 4 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_template_depths () =
+  check_int "block grows" 6
+    (Template.output_depth (Template.block ~n:3 ~i:0 ~j:2 ~bsize:(Array.make 3 (Expr.int 4))));
+  check_int "coalesce shrinks" 2
+    (Template.output_depth (Template.coalesce ~n:3 ~i:1 ~j:2));
+  check_int "interleave grows" 4
+    (Template.output_depth
+       (Template.interleave ~n:3 ~i:1 ~j:1 ~isize:[| Expr.int 2 |]));
+  check_int "others preserve" 3
+    (Template.output_depth (Template.parallelize [| true; false; true |]))
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: dependence mapping                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_unimodular_map () =
+  (* Figure 1's transformation: skew then interchange; T = I_swap * Skew. *)
+  let m = Intmat.mul (Intmat.interchange 2 0 1) (Intmat.skew 2 0 1 1) in
+  let t = Template.unimodular m in
+  Alcotest.check (Alcotest.list dv) "(1,0) -> (1,1)" [ v "(1,1)" ]
+    (Depmap.map_vector t (v "(1,0)"));
+  Alcotest.check (Alcotest.list dv) "(0,1) -> (1,0)" [ v "(1,0)" ]
+    (Depmap.map_vector t (v "(0,1)"));
+  (* direction values through a skew: (+,-) -> (j+i could be anything, +) *)
+  Alcotest.check (Alcotest.list dv) "(+,-) -> (*,+)" [ v "(*,+)" ]
+    (Depmap.map_vector t (v "(+,-)"));
+  (* single-coefficient rows scale exactly, keeping +- precision *)
+  let r = Template.unimodular (Intmat.reversal 2 0) in
+  Alcotest.check (Alcotest.list dv) "reversal keeps +-" [ v "(+-,3)" ]
+    (Depmap.map_vector r (v "(+-,3)"))
+
+let test_reverse_permute_map_figure2 () =
+  (* Figure 2(b): interchange is illegal for D = {(1,-1),(+,0)}. *)
+  let inter = Template.interchange ~n:2 0 1 in
+  let d' = Depmap.map_set inter [ v "(1,-1)"; v "(+,0)" ] in
+  check_bool "creates lex-negative (-1,1)" true
+    (Depvec.set_may_lex_negative d' <> None);
+  (* Figure 2(c): reverse loop j, then interchange: legal; the paper's
+     transformed set is {(1,1),(0,+)}. *)
+  let revperm =
+    Template.reverse_permute ~rev:[| false; true |] ~perm:[| 1; 0 |]
+  in
+  let d' = Depmap.map_set revperm [ v "(1,-1)"; v "(+,0)" ] in
+  Alcotest.(check (list string))
+    "mapped vectors" [ "(0, +)"; "(1, 1)" ] (vecs_str d');
+  check_bool "no lex-negative" true (Depvec.set_may_lex_negative d' = None)
+
+let test_parmap () =
+  let p e = Depmap.parmap e in
+  Alcotest.check dv "0 stays" [| Depvec.dist 0 |] [| p (Depvec.dist 0) |];
+  Alcotest.check dv "+ widens to +-" (v "(+-)") [| p (Depvec.dir Dir.Pos) |];
+  Alcotest.check dv "3 widens to +-" (v "(+-)") [| p (Depvec.dist 3) |];
+  Alcotest.check dv "0+ widens to *" (v "(*)") [| p (Depvec.dir Dir.NonNeg) |];
+  (* parallelizing a dependence-free loop is legal; a carried one is not *)
+  let t = Template.parallelize_one ~n:2 1 in
+  check_bool "carried by pardo -> illegal" true
+    (Depvec.set_may_lex_negative (Depmap.map_set t [ v "(0,+)" ]) <> None);
+  check_bool "carried outside -> legal" true
+    (Depvec.set_may_lex_negative (Depmap.map_set t [ v "(+,+)" ]) = None)
+
+let test_blockmap () =
+  let pairs e = Depmap.blockmap e in
+  Alcotest.(check int) "zero -> 1 pair" 1 (List.length (pairs (Depvec.dist 0)));
+  Alcotest.(check int) "distance 1 -> 2 pairs" 2 (List.length (pairs (Depvec.dist 1)));
+  check_bool "dist 1 pairs per Table 2" true
+    (pairs (Depvec.dist 1)
+    = [ (Depvec.dist 0, Depvec.dist 1); (Depvec.dist 1, Depvec.dir Dir.Any) ]);
+  check_bool "dist 5 block part widens to +" true
+    (pairs (Depvec.dist 5)
+    = [ (Depvec.dist 0, Depvec.dist 5); (Depvec.dir Dir.Pos, Depvec.dir Dir.Any) ]);
+  check_bool "* -> (*,*)" true
+    (pairs (Depvec.dir Dir.Any) = [ (Depvec.dir Dir.Any, Depvec.dir Dir.Any) ])
+
+let test_block_map_fanout () =
+  (* Blocking both loops of (1, 1) on a rectangular band:
+     2 x 2 = 4 vectors of length 4. *)
+  let t = Template.block ~n:2 ~i:0 ~j:1 ~bsize:[| Expr.var "b1"; Expr.var "b2" |] in
+  let out = Depmap.map_vector ~rectangular_bands:true t (v "(1,1)") in
+  check_int "fanout 4" 4 (List.length out);
+  check_bool "all length 4" true (List.for_all (fun d -> Array.length d = 4) out);
+  check_bool "contains (0,0,1,1)" true
+    (List.exists (Depvec.equal (v "(0,0,1,1)")) out);
+  (* Without the rectangularity guarantee, the block component of the
+     second band loop is widened once the first block component is
+     nonzero: 2 + 1 = 3 vectors. *)
+  check_int "conservative fanout 3" 3
+    (List.length (Depmap.map_vector t (v "(1,1)")))
+
+let test_mergedirs () =
+  let d s = Depvec.of_string ("(" ^ s ^ ")") in
+  let m l = Depmap.mergedirs (Array.to_list (Depvec.of_string l)) in
+  Alcotest.check (Alcotest.testable Depvec.pp_elem ( = )) "zeros then distance"
+    (d "7").(0)
+    (m "(0, 0, 7)");
+  Alcotest.check (Alcotest.testable Depvec.pp_elem ( = )) "(+,-) -> +"
+    (d "+").(0)
+    (m "(+, -)");
+  Alcotest.check (Alcotest.testable Depvec.pp_elem ( = )) "(2,-1) -> +"
+    (d "+").(0)
+    (m "(2, -1)");
+  Alcotest.check (Alcotest.testable Depvec.pp_elem ( = )) "(0+,-) -> +-"
+    (d "+-").(0)
+    (m "(0+, -)")
+
+let test_imap () =
+  let pairs = Depmap.imap (Depvec.dist 0) in
+  check_bool "zero -> (0,0)" true (pairs = [ (Depvec.dist 0, Depvec.dist 0) ]);
+  let pairs = Depmap.imap (Depvec.dir Dir.Pos) in
+  check_int "three phase groups" 3 (List.length pairs);
+  (* phase-negative pairs must force a positive strided component:
+     interleaving a carried loop is illegal *)
+  let t = Template.interleave ~n:1 ~i:0 ~j:0 ~isize:[| Expr.var "f" |] in
+  check_bool "interleave carried loop illegal" true
+    (Depvec.set_may_lex_negative (Depmap.map_set t [ v "(1)" ]) <> None);
+  check_bool "interleave independent loop legal" true
+    (Depvec.set_may_lex_negative (Depmap.map_set t [ v "(0)" ]) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: the matrix-multiply pipeline's dependence vectors          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7_sequence () =
+  [
+    (* ReversePermute: perm=[3 1 2] (1-based) = [2;0;1] 0-based. *)
+    Template.reverse_permute ~rev:[| false; false; false |] ~perm:[| 2; 0; 1 |];
+    (* Block all three loops with symbolic sizes [bj bk bi]. *)
+    Template.block ~n:3 ~i:0 ~j:2
+      ~bsize:[| Expr.var "bj"; Expr.var "bk"; Expr.var "bi" |];
+    (* Parallelize loops 1 and 3 (1-based) = 0 and 2. *)
+    Template.parallelize [| true; false; true; false; false; false |];
+    (* ReversePermute: perm=[1 3 2 4 5 6] (1-based): swap positions 1,2. *)
+    Template.reverse_permute
+      ~rev:(Array.make 6 false)
+      ~perm:[| 0; 2; 1; 3; 4; 5 |];
+    (* Coalesce loops 1..2 (1-based) = 0..1. *)
+    Template.coalesce ~n:6 ~i:0 ~j:1;
+  ]
+
+let test_fig7_vectors () =
+  let stages =
+    List.fold_left
+      (fun (ds, acc) t ->
+        (* matmul is rectangular, so Table 2's exact entries apply *)
+        let ds' = Depmap.map_set ~rectangular_bands:true t ds in
+        (ds', ds' :: acc))
+      ([ v "(0,0,+)" ], [])
+      (fig7_sequence ())
+  in
+  let history = List.rev (snd stages) in
+  let expect =
+    [
+      (* after ReversePermute *) [ "(0, +, 0)" ];
+      (* after Block *) [ "(0, 0, 0, 0, +, 0)"; "(0, +, 0, 0, *, 0)" ];
+      (* after Parallelize *) [ "(0, 0, 0, 0, +, 0)"; "(0, +, 0, 0, *, 0)" ];
+      (* after ReversePermute *) [ "(0, 0, 0, 0, +, 0)"; "(0, 0, +, 0, *, 0)" ];
+      (* after Coalesce *) [ "(0, 0, 0, +, 0)"; "(0, +, 0, *, 0)" ];
+    ]
+  in
+  List.iteri
+    (fun k (got, want) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "stage %d" (k + 1))
+        (List.sort compare want) (vecs_str got))
+    (List.combine history expect)
+
+(* ------------------------------------------------------------------ *)
+(* Sequence composition                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sequence_reduce () =
+  let s1 = Template.skew ~n:2 ~src:0 ~dst:1 ~factor:1 in
+  let u2 = Template.unimodular (Intmat.interchange 2 0 1) in
+  (match Sequence.reduce [ s1; u2 ] with
+  | [ Template.Unimodular { m; _ } ] ->
+    check_bool "merged matrix = product" true
+      (Intmat.equal m (Intmat.mul (Intmat.interchange 2 0 1) (Intmat.skew 2 0 1 1)))
+  | _ -> Alcotest.fail "expected a single Unimodular");
+  (* interchange twice = identity, which reduces away entirely *)
+  let i01 = Template.interchange ~n:2 0 1 in
+  check_int "interchange^2 reduces to empty" 0
+    (List.length (Sequence.reduce [ i01; i01 ]));
+  (* reversal then interchange composes masks through the permutation *)
+  let r0 = Template.reversal ~n:2 0 in
+  (match Sequence.reduce [ r0; i01 ] with
+  | [ Template.Reverse_permute { rev; perm; _ } ] ->
+    check_bool "loop 0 still the reversed one" true (rev = [| true; false |]);
+    check_bool "perm swaps" true (perm = [| 1; 0 |])
+  | _ -> Alcotest.fail "expected a single ReversePermute");
+  (* parallelize flags union *)
+  (match
+     Sequence.reduce
+       [ Template.parallelize [| true; false |]; Template.parallelize [| false; true |] ]
+   with
+  | [ Template.Parallelize { parflag; _ } ] ->
+    check_bool "union" true (parflag = [| true; true |])
+  | _ -> Alcotest.fail "expected a single Parallelize")
+
+let test_sequence_compose_semantics () =
+  (* Reduction must not change the dependence mapping. *)
+  let seq =
+    [
+      Template.skew ~n:2 ~src:0 ~dst:1 ~factor:1;
+      Template.unimodular (Intmat.interchange 2 0 1);
+      Template.parallelize [| false; true |];
+      Template.parallelize [| true; false |];
+    ]
+  in
+  let reduced = Sequence.reduce seq in
+  check_bool "reduced is shorter" true (List.length reduced < List.length seq);
+  let d0 = [ v "(1,0)"; v "(0,1)" ] in
+  Alcotest.(check (list string))
+    "same mapped set"
+    (vecs_str (Framework.map_vectors seq d0))
+    (vecs_str (Framework.map_vectors reduced d0))
+
+let test_sequence_well_formed () =
+  let b = Template.block ~n:2 ~i:0 ~j:1 ~bsize:[| Expr.int 4; Expr.int 4 |] in
+  check_bool "chain ok" true
+    (Sequence.well_formed [ b; Template.parallelize (Array.make 4 false) ]);
+  check_bool "chain broken" false
+    (Sequence.well_formed [ b; Template.parallelize (Array.make 2 false) ]);
+  check_int "output depth" 4 (Sequence.output_depth ~input:2 [ b ])
+
+(* ------------------------------------------------------------------ *)
+(* Code generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let render nest = Nest.to_string nest
+
+let test_codegen_figure1 () =
+  (* Skew j by i, then interchange; compare against Figure 1(b). *)
+  let m = Intmat.mul (Intmat.interchange 2 0 1) (Intmat.skew 2 0 1 1) in
+  let r = Framework.apply_exn (Builders.stencil ()) [ Template.unimodular m ] in
+  let text = render r.Framework.nest in
+  (* New loops named jj/ii per the paper's naming. *)
+  check_bool "outer loop jj" true
+    (String.length text >= 5 && String.sub text 0 5 = "do jj");
+  check_bool "inits j = jj - ii and i = ii" true
+    (Builders.contains ~sub:"j = jj - ii" text
+    && Builders.contains ~sub:"i = ii" text);
+  (* Figure 1(b) bounds: jj = 4 .. n+n-2; ii = max(2, jj-n+1) .. min(n-1, jj-2). *)
+  let loops = Array.of_list r.Framework.nest.Nest.loops in
+  Alcotest.(check string) "jj lower" "4" (Expr.to_string loops.(0).Nest.lo);
+  (* semantic spot check of the ii bounds at n = 9, jj = 6 *)
+  let env = [ ("n", Expr.int 9); ("jj", Expr.int 6) ] in
+  Alcotest.(check string)
+    "ii lower at (9,6)" "2"
+    (Expr.to_string (Expr.subst env loops.(1).Nest.lo));
+  Alcotest.(check string)
+    "ii upper at (9,6)" "4"
+    (Expr.to_string (Expr.subst env loops.(1).Nest.hi))
+
+let test_codegen_figure1_semantics () =
+  let m = Intmat.mul (Intmat.interchange 2 0 1) (Intmat.skew 2 0 1 1) in
+  let r = Framework.apply_exn (Builders.stencil ()) [ Template.unimodular m ] in
+  check_bool "stencil results identical" true
+    (Builders.equivalent ~params:[ ("n", 8) ] ~orders:[ `Forward ]
+       (Builders.stencil ()) r.Framework.nest)
+
+let test_codegen_reverse_runtime_step () =
+  (* ReversePermute supports runtime steps (paper Section 4.2's argument
+     for preferring it over Unimodular). *)
+  let nest =
+    Nest.make
+      [ Nest.loop ~step:(Expr.var "s") "i" Expr.one (Expr.var "n") ]
+      [ Stmt.Store ({ array = "a"; index = [ Expr.var "i" ] }, Expr.var "i") ]
+  in
+  let r = Framework.apply_exn ~vectors:[] nest [ Template.reversal ~n:1 0 ] in
+  check_bool "identical including partial strides" true
+    (List.for_all
+       (fun s ->
+         Builders.equivalent ~params:[ ("n", 13); ("s", s) ] ~orders:[ `Forward ]
+           nest r.Framework.nest)
+       [ 1; 2; 3; 5 ])
+
+let test_codegen_block_triangular () =
+  (* Blocking a triangular nest must produce exactly the same iterations
+     (non-empty tiles only is checked separately). *)
+  let t =
+    Template.block ~n:2 ~i:0 ~j:1 ~bsize:[| Expr.var "b1"; Expr.var "b2" |]
+  in
+  let r = Framework.apply_exn (Builders.triangular ()) [ t ] in
+  check_bool "same results" true
+    (List.for_all
+       (fun (n, b1, b2) ->
+         Builders.equivalent
+           ~params:[ ("n", n); ("b1", b1); ("b2", b2) ]
+           ~orders:[ `Forward ] (Builders.triangular ()) r.Framework.nest)
+       [ (7, 2, 3); (8, 3, 3); (5, 1, 2); (6, 10, 10) ])
+
+let test_block_nonempty_tiles () =
+  (* Count block-loop iterations whose element loops are empty: the
+     paper's Table 4 construction guarantees none for triangular bounds. *)
+  let t = Template.block ~n:2 ~i:0 ~j:1 ~bsize:[| Expr.int 3; Expr.int 3 |] in
+  let r = Framework.apply_exn (Builders.triangular ()) [ t ] in
+  let env = Builders.make_env ~params:[ ("n", 10) ] r.Framework.nest in
+  (* iterate only the two outer (block) loops and check inner emptiness *)
+  let loops = Array.of_list r.Framework.nest.Nest.loops in
+  let empties = ref 0 and tiles = ref 0 in
+  let eval e = Itf_exec.Interp.eval env e in
+  let b0 = loops.(0) and b1 = loops.(1) and e0 = loops.(2) and e1 = loops.(3) in
+  let lo0 = eval b0.Nest.lo and hi0 = eval b0.Nest.hi and st0 = eval b0.Nest.step in
+  let k0 = ref lo0 in
+  while !k0 <= hi0 do
+    Itf_exec.Env.set_scalar env b0.Nest.var !k0;
+    let lo1 = eval b1.Nest.lo and hi1 = eval b1.Nest.hi and st1 = eval b1.Nest.step in
+    let k1 = ref lo1 in
+    while !k1 <= hi1 do
+      Itf_exec.Env.set_scalar env b1.Nest.var !k1;
+      incr tiles;
+      (* does the tile contain at least one (i, j) iteration? *)
+      let found = ref false in
+      let ilo = eval e0.Nest.lo and ihi = eval e0.Nest.hi in
+      for i = ilo to ihi do
+        Itf_exec.Env.set_scalar env e0.Nest.var i;
+        let jlo = eval e1.Nest.lo and jhi = eval e1.Nest.hi in
+        if jlo <= jhi then found := true
+      done;
+      if not !found then incr empties;
+      k1 := !k1 + st1
+    done;
+    k0 := !k0 + st0
+  done;
+  check_bool "visited several tiles" true (!tiles > 5);
+  check_int "no empty tiles" 0 !empties
+
+let test_codegen_coalesce () =
+  let t = Template.coalesce ~n:3 ~i:0 ~j:2 in
+  let r = Framework.apply_exn (Builders.matmul ()) [ t ] in
+  check_int "single loop" 1 (Nest.depth r.Framework.nest);
+  check_int "three inits" 3 (List.length r.Framework.nest.Nest.inits);
+  check_bool "same results" true
+    (Builders.equivalent ~params:[ ("n", 5) ] ~orders:[ `Forward ]
+       (Builders.matmul ()) r.Framework.nest)
+
+let test_codegen_coalesce_steps () =
+  (* Coalescing loops with non-unit and negative steps. *)
+  let nest =
+    Nest.make
+      [
+        Nest.loop ~step:(Expr.int 2) "i" Expr.one (Expr.var "n");
+        Nest.loop ~step:(Expr.int (-3)) "j" (Expr.var "n") Expr.one;
+      ]
+      [
+        Stmt.Store
+          ( { array = "a"; index = [ Expr.var "i"; Expr.var "j" ] },
+            Expr.(add (mul (var "i") (int 100)) (var "j")) );
+      ]
+  in
+  let r = Framework.apply_exn ~vectors:[] nest [ Template.coalesce ~n:2 ~i:0 ~j:1 ] in
+  check_bool "strided coalesce identical" true
+    (List.for_all
+       (fun n ->
+         Builders.equivalent ~params:[ ("n", n) ] ~orders:[ `Forward ] nest
+           r.Framework.nest)
+       [ 1; 2; 5; 8 ])
+
+let test_block_misaligned_grid () =
+  (* Regression: blocking a strided loop whose lower bound depends on a
+     sibling band variable (here the phase loop introduced by Interleave)
+     must keep element values on the loop's grid. Found by the exhaustive
+     small-world suite. *)
+  let nest =
+    Nest.make
+      [
+        Nest.loop ~step:(Expr.int (-2)) "i" (Expr.int 9) Expr.zero;
+        Nest.loop "j" Expr.zero (Expr.int 4);
+      ]
+      [
+        Stmt.Store
+          ( { array = "a"; index = [ Expr.var "i"; Expr.var "j" ] },
+            Expr.(add (Load { array = "b"; index = [ var "j"; var "i" ] }) (var "i")) );
+      ]
+  in
+  let seq =
+    [
+      Template.interleave ~n:2 ~i:1 ~j:1 ~isize:[| Expr.int 2 |];
+      Template.block ~n:3 ~i:0 ~j:2 ~bsize:(Array.make 3 (Expr.int 2));
+    ]
+  in
+  let r = Framework.apply_exn nest seq in
+  check_bool "misaligned tiles still equivalent" true
+    (Builders.equivalent ~params:[] ~orders:[ `Forward ] nest r.Framework.nest)
+
+let test_codegen_interleave () =
+  let t = Template.interleave ~n:2 ~i:1 ~j:1 ~isize:[| Expr.var "f" |] in
+  let r = Framework.apply_exn (Builders.triangular ()) [ t ] in
+  check_int "depth 3" 3 (Nest.depth r.Framework.nest);
+  check_bool "same results for several factors" true
+    (List.for_all
+       (fun f ->
+         Builders.equivalent ~params:[ ("n", 9); ("f", f) ] ~orders:[ `Forward ]
+           (Builders.triangular ()) r.Framework.nest)
+       [ 1; 2; 3; 7 ])
+
+let test_codegen_parallelize_kinds () =
+  let r =
+    Framework.apply_exn (Builders.matmul ())
+      [ Template.parallelize [| true; false; false |] ]
+  in
+  check_bool "outer pardo" true
+    ((List.hd r.Framework.nest.Nest.loops).Nest.kind = Nest.Pardo);
+  (* matmul's (0,0,+) is not carried by i: parallel execution is safe *)
+  check_bool "parallel result identical under adversarial order" true
+    (Builders.equivalent ~params:[ ("n", 6) ]
+       ~orders:[ `Forward; `Reverse; `Shuffle 3 ] (Builders.matmul ())
+       r.Framework.nest)
+
+(* ------------------------------------------------------------------ *)
+(* Legality                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_legality_figure2 () =
+  let d = [ v "(1,-1)"; v "(+,0)" ] in
+  let nest = Builders.stencil () in
+  (* interchange alone: illegal *)
+  (match Legality.check ~vectors:d nest [ Template.interchange ~n:2 0 1 ] with
+  | Legality.Dependence_violation _ -> ()
+  | _ -> Alcotest.fail "expected dependence violation");
+  (* reverse j then interchange: legal *)
+  check_bool "reverse+interchange legal" true
+    (Legality.is_legal ~vectors:d nest
+       [ Template.reverse_permute ~rev:[| false; true |] ~perm:[| 1; 0 |] ])
+
+let figure2_src =
+  "do i = 2, n - 1\n\
+  \  do j = 2, n - 1\n\
+  \    a(i, j) = b(j)\n\
+  \    if b(j) > 0\n\
+  \      b(j) = a(i - 1, j + 1)\n\
+  \    endif\n\
+  \  enddo\n\
+   enddo\n"
+
+let test_figure2_real_program () =
+  (* The paper's actual Figure 2(a) body, conditional included: the
+     analyzer must produce D = {(1,-1), (+,0)} by itself. *)
+  let nest = Itf_lang.Parser.parse_nest figure2_src in
+  Alcotest.(check (list string))
+    "analyzer derives the paper's D"
+    (List.sort compare [ "(1, -1)"; "(+, 0)" ])
+    (vecs_str (Itf_dep.Analysis.vectors nest));
+  check_bool "interchange illegal (default analyzer)" false
+    (Legality.is_legal nest [ Template.interchange ~n:2 0 1 ]);
+  let revperm = Template.reverse_permute ~rev:[| false; true |] ~perm:[| 1; 0 |] in
+  check_bool "reverse-then-interchange legal" true
+    (Legality.is_legal nest [ revperm ]);
+  let r = Framework.apply_exn nest [ revperm ] in
+  check_bool "transformed program equivalent (guard included)" true
+    (Builders.equivalent ~params:[ ("n", 10) ] ~orders:[ `Forward ] nest
+       r.Framework.nest)
+
+let test_legality_intermediate_stages_need_not_be_legal () =
+  (* Figure 2 again, as a two-step sequence: step 1 (reversal) produces
+     (-1,...)-style vectors — ILLEGAL alone — but reversal-then-interchange
+     as a whole is fine when expressed in the right order. Here: interchange
+     first gives (-1,1): illegal alone; then reversing the (new) outer loop
+     fixes it. The sequence must be accepted. *)
+  let d = [ v "(1,-1)" ] in
+  let nest = Builders.stencil () in
+  let seq = [ Template.interchange ~n:2 0 1; Template.reversal ~n:2 0 ] in
+  check_bool "whole sequence legal despite illegal prefix" true
+    (Legality.is_legal ~vectors:d nest seq);
+  check_bool "prefix alone is illegal" true
+    (not (Legality.is_legal ~vectors:d nest [ Template.interchange ~n:2 0 1 ]))
+
+let test_legality_figure4_nonlinear_bounds () =
+  let nest = Builders.sparse_matmul () in
+  (* Unimodular interchange of j and k: rejected by the bounds test
+     (colstr(j) is nonlinear in j). *)
+  (match
+     Legality.check ~vectors:[] nest
+       [ Template.unimodular (Intmat.interchange 3 1 2) ]
+   with
+  | Legality.Bounds_violation { index = 0; violations } ->
+    check_bool "mentions nonlinear" true
+      (List.exists
+         (fun v ->
+           Builders.contains ~sub:"nonlinear" v.Itf_core.Boundsmap.message)
+         violations)
+  | _ -> Alcotest.fail "expected bounds violation");
+  (* ReversePermute moving i innermost: bounds of j and k are invariant in
+     i, so the preconditions hold... but j's bounds are also invariant and
+     k's bounds are invariant in i specifically. *)
+  let perm = [| 2; 0; 1 |] in
+  (* i -> innermost *)
+  check_bool "ReversePermute i to innermost is ACCEPTED... by bounds" true
+    (match
+       Legality.check ~vectors:[] nest
+         [ Template.reverse_permute ~rev:(Array.make 3 false) ~perm ]
+     with
+    | Legality.Legal _ -> true
+    | _ -> false)
+
+let test_legality_unimodular_rejects_runtime_step () =
+  let nest =
+    Nest.make
+      [ Nest.loop ~step:(Expr.var "s") "i" Expr.one (Expr.var "n") ]
+      [ Stmt.Store ({ array = "a"; index = [ Expr.var "i" ] }, Expr.var "i") ]
+  in
+  (match
+     Legality.check ~vectors:[] nest
+       [ Template.unimodular (Intmat.reversal 1 0) ]
+   with
+  | Legality.Bounds_violation _ -> ()
+  | _ -> Alcotest.fail "expected bounds violation for runtime step");
+  (* the identity Unimodular reduces away and is accepted as a no-op *)
+  check_bool "identity unimodular is a legal no-op" true
+    (Legality.is_legal ~vectors:[] nest
+       [ Template.unimodular (Intmat.identity 1) ]);
+  (* but ReversePermute accepts it *)
+  check_bool "reversal fine" true
+    (Legality.is_legal ~vectors:[] nest [ Template.reversal ~n:1 0 ])
+
+let test_legality_uses_analyzer_by_default () =
+  (* matmul: interchange is legal ((0,0,+) maps fine); parallelizing k is
+     illegal ((0,0,+) is carried by k). *)
+  check_bool "interchange legal" true
+    (Legality.is_legal (Builders.matmul ()) [ Template.interchange ~n:3 0 1 ]);
+  check_bool "parallelize k illegal" false
+    (Legality.is_legal (Builders.matmul ()) [ Template.parallelize_one ~n:3 2 ]);
+  check_bool "parallelize i legal" true
+    (Legality.is_legal (Builders.matmul ()) [ Template.parallelize_one ~n:3 0 ])
+
+let lu_src =
+  "do k = 1, n\n\
+  \  do i = k + 1, n\n\
+  \    do j = k + 1, n\n\
+  \      a(i, j) = a(i, j) - a(i, k) * a(k, j)\n\
+  \    enddo\n\
+  \  enddo\n\
+   enddo\n"
+
+let test_lu_update_kernel () =
+  (* Classic LU-update facts require the triangular-coupling refinement:
+     every dependence is carried by k, so i and j (but not k) parallelize,
+     the i/j interchange is legal, and the inner loop vectorizes. *)
+  let nest = Itf_lang.Parser.parse_nest lu_src in
+  let vectors = Itf_dep.Analysis.vectors nest in
+  check_bool "all dependences carried by k" true
+    (List.for_all
+       (fun d -> Itf_core.Queries.carried_level d = Some 0)
+       vectors);
+  Alcotest.(check (list int))
+    "i and j parallelizable" [ 1; 2 ]
+    (Itf_core.Queries.parallelizable_loops ~depth:3 vectors);
+  check_bool "parallelize i+j legal" true
+    (Legality.is_legal nest [ Template.parallelize [| false; true; true |] ]);
+  check_bool "parallelize k illegal" false
+    (Legality.is_legal nest [ Template.parallelize_one ~n:3 0 ]);
+  check_bool "interchange i,j legal" true
+    (Legality.is_legal nest [ Template.interchange ~n:3 1 2 ]);
+  (* and the parallel version is observably correct *)
+  let r =
+    Framework.apply_exn nest [ Template.parallelize [| false; true; true |] ]
+  in
+  check_bool "parallel LU update equivalent" true
+    (Builders.equivalent ~params:[ ("n", 7) ]
+       ~orders:[ `Forward; `Reverse; `Shuffle 13 ] nest r.Framework.nest)
+
+let test_fig7_full_pipeline () =
+  (* The Appendix A pipeline end to end: legality + code generation +
+     semantic equivalence, with concrete block sizes. *)
+  let seq = fig7_sequence () in
+  let r = Framework.apply_exn (Builders.matmul ()) seq in
+  check_int "final depth 5" 5 (Nest.depth r.Framework.nest);
+  Alcotest.(check (list string))
+    "final vectors"
+    (List.sort compare [ "(0, 0, 0, +, 0)"; "(0, +, 0, *, 0)" ])
+    (vecs_str r.Framework.vectors);
+  check_bool "pipeline preserves semantics" true
+    (Builders.equivalent
+       ~params:[ ("n", 7); ("bi", 2); ("bj", 3); ("bk", 2) ]
+       ~orders:[ `Forward; `Reverse; `Shuffle 11 ]
+       (Builders.matmul ()) r.Framework.nest)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "template",
+        [
+          Alcotest.test_case "validation" `Quick test_template_validation;
+          Alcotest.test_case "depths" `Quick test_template_depths;
+        ] );
+      ( "depmap",
+        [
+          Alcotest.test_case "unimodular" `Quick test_unimodular_map;
+          Alcotest.test_case "reverse-permute (fig 2)" `Quick
+            test_reverse_permute_map_figure2;
+          Alcotest.test_case "parmap" `Quick test_parmap;
+          Alcotest.test_case "blockmap" `Quick test_blockmap;
+          Alcotest.test_case "block fanout" `Quick test_block_map_fanout;
+          Alcotest.test_case "mergedirs" `Quick test_mergedirs;
+          Alcotest.test_case "imap" `Quick test_imap;
+          Alcotest.test_case "figure 7 vector history" `Quick test_fig7_vectors;
+        ] );
+      ( "sequence",
+        [
+          Alcotest.test_case "reduction rules" `Quick test_sequence_reduce;
+          Alcotest.test_case "reduction preserves mapping" `Quick
+            test_sequence_compose_semantics;
+          Alcotest.test_case "well-formedness" `Quick test_sequence_well_formed;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "figure 1 output" `Quick test_codegen_figure1;
+          Alcotest.test_case "figure 1 semantics" `Quick test_codegen_figure1_semantics;
+          Alcotest.test_case "reverse with runtime step" `Quick
+            test_codegen_reverse_runtime_step;
+          Alcotest.test_case "block triangular semantics" `Quick
+            test_codegen_block_triangular;
+          Alcotest.test_case "block creates no empty tiles" `Quick
+            test_block_nonempty_tiles;
+          Alcotest.test_case "block misaligned grid regression" `Quick
+            test_block_misaligned_grid;
+          Alcotest.test_case "coalesce" `Quick test_codegen_coalesce;
+          Alcotest.test_case "coalesce with strides" `Quick test_codegen_coalesce_steps;
+          Alcotest.test_case "interleave" `Quick test_codegen_interleave;
+          Alcotest.test_case "parallelize kinds" `Quick test_codegen_parallelize_kinds;
+        ] );
+      ( "legality",
+        [
+          Alcotest.test_case "figure 2" `Quick test_legality_figure2;
+          Alcotest.test_case "figure 2 real program (guarded)" `Quick
+            test_figure2_real_program;
+          Alcotest.test_case "illegal intermediate stages ok" `Quick
+            test_legality_intermediate_stages_need_not_be_legal;
+          Alcotest.test_case "figure 4 nonlinear bounds" `Quick
+            test_legality_figure4_nonlinear_bounds;
+          Alcotest.test_case "runtime step rejection" `Quick
+            test_legality_unimodular_rejects_runtime_step;
+          Alcotest.test_case "default analyzer" `Quick
+            test_legality_uses_analyzer_by_default;
+          Alcotest.test_case "figure 7 end to end" `Quick test_fig7_full_pipeline;
+          Alcotest.test_case "LU update kernel" `Quick test_lu_update_kernel;
+        ] );
+    ]

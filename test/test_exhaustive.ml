@@ -1,0 +1,152 @@
+(* Exhaustive small-world validation: EVERY sequence of at most two moves
+   from a fixed move set, applied to a fixed family of small nests, with
+   every legal result checked for semantic equivalence against the
+   interpreter (forward and adversarially shuffled pardo execution).
+
+   Complements the randomized suite: deterministic, and covers the full
+   cross product instead of a sample. *)
+
+open Itf_ir
+module T = Itf_core.Template
+module L = Itf_core.Legality
+
+let ld a ix : Expr.t = Expr.Load { array = a; index = ix }
+let st a ix rhs = Stmt.Store ({ array = a; index = ix }, rhs)
+let i_ = Expr.var "i"
+let j_ = Expr.var "j"
+let k_ = Expr.var "k"
+
+(* All-constant-bounds nests so the oracle can enumerate. *)
+let nests =
+  [
+    ( "stencil5",
+      Nest.make
+        [ Nest.loop "i" (Expr.int 1) (Expr.int 6); Nest.loop "j" (Expr.int 1) (Expr.int 6) ]
+        [
+          st "a" [ i_; j_ ]
+            (Expr.add
+               (ld "a" [ Expr.sub i_ Expr.one; j_ ])
+               (ld "a" [ i_; Expr.sub j_ Expr.one ]));
+        ] );
+    ( "antidiag",
+      Nest.make
+        [ Nest.loop "i" (Expr.int 0) (Expr.int 5); Nest.loop "j" (Expr.int 0) (Expr.int 5) ]
+        [ st "a" [ i_; j_ ] (ld "a" [ Expr.sub i_ Expr.one; Expr.add j_ Expr.one ]) ]
+      );
+    ( "matmul4",
+      Nest.make
+        [
+          Nest.loop "i" (Expr.int 1) (Expr.int 4);
+          Nest.loop "j" (Expr.int 1) (Expr.int 4);
+          Nest.loop "k" (Expr.int 1) (Expr.int 4);
+        ]
+        [ st "A" [ i_; j_ ] (Expr.add (ld "A" [ i_; j_ ]) (Expr.mul (ld "B" [ i_; k_ ]) (ld "C" [ k_; j_ ]))) ]
+      );
+    ( "triangular",
+      Nest.make
+        [ Nest.loop "i" (Expr.int 0) (Expr.int 5); Nest.loop "j" i_ (Expr.int 5) ]
+        [ st "a" [ i_; j_ ] (Expr.add (ld "a" [ i_; Expr.sub j_ Expr.one ]) j_) ]
+      );
+    ( "scalar-carry",
+      Nest.make
+        [ Nest.loop "i" (Expr.int 0) (Expr.int 7) ]
+        [
+          Stmt.Set ("x", ld "a" [ Expr.sub i_ Expr.one ]);
+          st "a" [ i_ ] (Expr.add (Expr.var "x") Expr.one);
+        ] );
+    ( "reversed-strided",
+      Nest.make
+        [
+          Nest.loop ~step:(Expr.int (-2)) "i" (Expr.int 9) (Expr.int 0);
+          Nest.loop "j" (Expr.int 0) (Expr.int 4);
+        ]
+        [ st "a" [ i_; j_ ] (Expr.add (ld "b" [ j_; i_ ]) i_) ] );
+  ]
+
+(* Single-template moves available at a given depth. *)
+let moves n =
+  let pairs =
+    List.concat
+      (List.init n (fun a ->
+           List.filter_map
+             (fun b -> if a < b then Some (a, b) else None)
+             (List.init n Fun.id)))
+  in
+  List.concat
+    [
+      List.map (fun (a, b) -> T.interchange ~n a b) pairs;
+      List.init n (fun k -> T.reversal ~n k);
+      (if n >= 2 then
+         List.concat
+           (List.init (n - 1) (fun k ->
+                [
+                  T.skew ~n ~src:k ~dst:(k + 1) ~factor:1;
+                  T.skew ~n ~src:(k + 1) ~dst:k ~factor:(-1);
+                ]))
+       else []);
+      List.init n (fun k -> T.parallelize_one ~n k);
+      (if n <= 3 then
+         List.init n (fun k ->
+             T.block ~n ~i:k ~j:k ~bsize:[| Expr.int 2 |])
+       else []);
+      (if n >= 2 && n <= 3 then
+         [ T.block ~n ~i:0 ~j:(n - 1) ~bsize:(Array.make n (Expr.int 2)) ]
+       else []);
+      (if n >= 2 then [ T.coalesce ~n ~i:0 ~j:(n - 1) ] else []);
+      (if n <= 3 then
+         [ T.interleave ~n ~i:(n - 1) ~j:(n - 1) ~isize:[| Expr.int 2 |] ]
+       else []);
+    ]
+
+let sequences depth =
+  let singles = List.map (fun t -> [ t ]) (moves depth) in
+  let doubles =
+    List.concat_map
+      (fun t1 ->
+        let d = T.output_depth t1 in
+        if d > 6 then []
+        else List.map (fun t2 -> [ t1; t2 ]) (moves d))
+      (moves depth)
+  in
+  singles @ doubles
+
+let () =
+  let legal = ref 0 and illegal = ref 0 and total = ref 0 in
+  let failures = ref [] in
+  List.iter
+    (fun (name, nest) ->
+      let vectors = Itf_dep.Analysis.vectors nest in
+      List.iter
+        (fun seq ->
+          incr total;
+          match L.check ~vectors nest seq with
+          | L.Bounds_violation _ | L.Dependence_violation _ -> incr illegal
+          | L.Legal { nest = out; _ } ->
+            incr legal;
+            let ok =
+              Builders.equivalent ~params:[] ~orders:[ `Forward; `Shuffle !total ]
+                nest out
+            in
+            if not ok then
+              failures :=
+                Format.asprintf "%s: %a" name Itf_core.Sequence.pp seq
+                :: !failures)
+        (sequences (Nest.depth nest)))
+    nests;
+  let run () =
+    (match !failures with
+    | [] -> ()
+    | fs ->
+      Alcotest.failf "%d semantic failures, e.g.:@.%s" (List.length fs)
+        (String.concat "\n" (List.filteri (fun k _ -> k < 3) fs)));
+    Alcotest.(check bool)
+      (Printf.sprintf "coverage: %d sequences, %d legal, %d illegal" !total
+         !legal !illegal)
+      true
+      (!total > 1000 && !legal > 300 && !illegal > 300)
+  in
+  Alcotest.run "exhaustive"
+    [
+      ( "small-world",
+        [ Alcotest.test_case "all 2-step sequences on 6 nests" `Quick run ] );
+    ]

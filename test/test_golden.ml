@@ -1,0 +1,129 @@
+(* Golden tests: exact generated code for each template on canonical
+   nests. These pin the concrete output of the Tables 3-4 rules so that
+   changes to bound formulas are visible in review. *)
+
+open Itf_ir
+module T = Itf_core.Template
+module F = Itf_core.Framework
+module Intmat = Itf_mat.Intmat
+
+let check = Alcotest.(check string)
+
+let apply nest seq = Nest.to_string (F.apply_exn ~vectors:[] nest seq).F.nest
+
+let rect () =
+  Itf_lang.Parser.parse_nest
+    "do i = 1, n\n  do j = 1, m\n    a(i, j) = i + j\n  enddo\nenddo\n"
+
+let rect_strided () =
+  Itf_lang.Parser.parse_nest
+    "do i = 1, n\n  do j = 1, m, s\n    a(i, j) = i + j\n  enddo\nenddo\n"
+
+let triangular () =
+  Itf_lang.Parser.parse_nest
+    "do i = 1, n\n  do j = i, n\n    a(i, j) = i + j\n  enddo\nenddo\n"
+
+let test_interchange () =
+  check "swap loop headers"
+    "do j = 1, m\n  do i = 1, n\n    a(i, j) = i + j\n  enddo\nenddo\n"
+    (apply (rect ()) [ T.interchange ~n:2 0 1 ])
+
+let test_reversal_unit_step () =
+  check "reverse j: constant step folds"
+    "do i = 1, n\n  do j = m, 1, -1\n    a(i, j) = i + j\n  enddo\nenddo\n"
+    (apply (rect ()) [ T.reversal ~n:2 1 ])
+
+let test_reversal_runtime_step () =
+  check "reverse j: floor-mod last-iteration formula"
+    "do i = 1, n\n\
+    \  do j = m - (m - 1) mod s, 1, -s\n\
+    \    a(i, j) = i + j\n\
+    \  enddo\n\
+     enddo\n"
+    (apply (rect_strided ()) [ T.reversal ~n:2 1 ])
+
+let test_parallelize () =
+  check "pardo headers"
+    "pardo i = 1, n\n  do j = 1, m\n    a(i, j) = i + j\n  enddo\nenddo\n"
+    (apply (rect ()) [ T.parallelize [| true; false |] ])
+
+let test_unimodular_skew () =
+  check "skewed bounds by Fourier-Motzkin, inits emitted"
+    "do ii = 1, n\n\
+    \  do jj = 1 + ii, n + ii\n\
+    \    i = ii\n\
+    \    j = jj - ii\n\
+    \    a(i, j) = i + j\n\
+    \  enddo\n\
+     enddo\n"
+    (apply
+       (Itf_lang.Parser.parse_nest
+          "do i = 1, n\n  do j = 1, n\n    a(i, j) = i + j\n  enddo\nenddo\n")
+       [ T.skew ~n:2 ~src:0 ~dst:1 ~factor:1 ])
+
+let test_block_rectangular () =
+  check "block loops stride by b, element loops clamp"
+    "do ii = 1, n, b1\n\
+    \  do jj = 1, m, b2\n\
+    \    do i = max(ii, 1), min(ii + (b1 - 1), n)\n\
+    \      do j = max(jj, 1), min(jj + (b2 - 1), m)\n\
+    \        a(i, j) = i + j\n\
+    \      enddo\n\
+    \    enddo\n\
+    \  enddo\n\
+     enddo\n"
+    (apply (rect ())
+       [ T.block ~n:2 ~i:0 ~j:1 ~bsize:[| Expr.var "b1"; Expr.var "b2" |] ])
+
+let test_block_triangular_endpoints () =
+  check "triangular block loop lower bound substitutes the block origin"
+    "do ii = 1, n, b\n\
+    \  do jj = ii, n, b\n\
+    \    do i = max(ii, 1), min(ii + (b - 1), n)\n\
+    \      do j = max(jj, i), min(jj + (b - 1), n)\n\
+    \        a(i, j) = i + j\n\
+    \      enddo\n\
+    \    enddo\n\
+    \  enddo\n\
+     enddo\n"
+    (apply (triangular ())
+       [ T.block ~n:2 ~i:0 ~j:1 ~bsize:[| Expr.var "b"; Expr.var "b" |] ])
+
+let test_coalesce () =
+  check "coalesced loop with div/mod delinearization inits"
+    "do ijc = 0, max(0, n) * max(0, m) - 1\n\
+    \  i = 1 + ijc / max(0, m) mod max(0, n)\n\
+    \  j = 1 + ijc mod max(0, m)\n\
+    \  a(i, j) = i + j\n\
+     enddo\n"
+    (apply (rect ()) [ T.coalesce ~n:2 ~i:0 ~j:1 ])
+
+let test_interleave () =
+  check "phase loop plus strided loop"
+    "do i = 1, n\n\
+    \  do jp = 0, f - 1\n\
+    \    do j = 1 + jp, m, f\n\
+    \      a(i, j) = i + j\n\
+    \    enddo\n\
+    \  enddo\n\
+     enddo\n"
+    (apply (rect ()) [ T.interleave ~n:2 ~i:1 ~j:1 ~isize:[| Expr.var "f" |] ])
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "codegen",
+        [
+          Alcotest.test_case "interchange" `Quick test_interchange;
+          Alcotest.test_case "reversal (unit step)" `Quick test_reversal_unit_step;
+          Alcotest.test_case "reversal (runtime step)" `Quick
+            test_reversal_runtime_step;
+          Alcotest.test_case "parallelize" `Quick test_parallelize;
+          Alcotest.test_case "unimodular skew" `Quick test_unimodular_skew;
+          Alcotest.test_case "block (rectangular)" `Quick test_block_rectangular;
+          Alcotest.test_case "block (triangular endpoints)" `Quick
+            test_block_triangular_endpoints;
+          Alcotest.test_case "coalesce" `Quick test_coalesce;
+          Alcotest.test_case "interleave" `Quick test_interleave;
+        ] );
+    ]

@@ -1,0 +1,266 @@
+(* Tests for the integer matrix / rational substrate (lib/intmat). *)
+
+module M = Itf_mat.Intmat
+module R = Itf_mat.Ratio
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mat = Alcotest.testable M.pp M.equal
+
+(* ------------------------------------------------------------------ *)
+(* Ratio                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ratio_canonical () =
+  let r = R.make 2 4 in
+  check_int "num" 1 (R.num r);
+  check_int "den" 2 (R.den r);
+  let r = R.make 3 (-6) in
+  check_int "num sign moves up" (-1) (R.num r);
+  check_int "den positive" 2 (R.den r);
+  let r = R.make 0 (-7) in
+  check_bool "zero canonical" true (R.equal r R.zero)
+
+let test_ratio_arith () =
+  let a = R.make 1 2 and b = R.make 1 3 in
+  check_bool "1/2+1/3" true (R.equal (R.add a b) (R.make 5 6));
+  check_bool "1/2-1/3" true (R.equal (R.sub a b) (R.make 1 6));
+  check_bool "1/2*1/3" true (R.equal (R.mul a b) (R.make 1 6));
+  check_bool "1/2 / 1/3" true (R.equal (R.div a b) (R.make 3 2));
+  check_bool "neg" true (R.equal (R.neg a) (R.make (-1) 2));
+  check_bool "inv" true (R.equal (R.inv (R.make 2 3)) (R.make 3 2))
+
+let test_ratio_div_by_zero () =
+  Alcotest.check_raises "make _ 0" Division_by_zero (fun () ->
+      ignore (R.make 1 0));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (R.div R.one R.zero))
+
+let test_ratio_floor_ceil () =
+  check_int "floor 7/2" 3 (R.floor (R.make 7 2));
+  check_int "ceil 7/2" 4 (R.ceil (R.make 7 2));
+  check_int "floor -7/2" (-4) (R.floor (R.make (-7) 2));
+  check_int "ceil -7/2" (-3) (R.ceil (R.make (-7) 2));
+  check_int "floor 6/2" 3 (R.floor (R.make 6 2));
+  check_int "ceil 6/2" 3 (R.ceil (R.make 6 2))
+
+let test_ratio_compare () =
+  check_bool "1/2 < 2/3" true (R.compare (R.make 1 2) (R.make 2 3) < 0);
+  check_bool "-1/2 < 1/3" true (R.compare (R.make (-1) 2) (R.make 1 3) < 0);
+  check_int "sign neg" (-1) (R.sign (R.make (-3) 7));
+  check_int "sign zero" 0 (R.sign R.zero);
+  check_bool "min" true (R.equal (R.min (R.make 1 2) (R.make 1 3)) (R.make 1 3));
+  check_bool "max" true (R.equal (R.max (R.make 1 2) (R.make 1 3)) (R.make 1 2))
+
+let test_ratio_to_int () =
+  check_int "to_int_exn 6/3" 2 (R.to_int_exn (R.make 6 3));
+  check_bool "is_integer 6/3" true (R.is_integer (R.make 6 3));
+  check_bool "is_integer 1/2" false (R.is_integer (R.make 1 2));
+  Alcotest.check_raises "to_int_exn 1/2"
+    (Invalid_argument "Ratio.to_int_exn: not an integer") (fun () ->
+      ignore (R.to_int_exn (R.make 1 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Intmat basics                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_construct () =
+  let m = M.of_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  check_int "rows" 2 (M.rows m);
+  check_int "cols" 2 (M.cols m);
+  check_int "(0,1)" 2 (M.get m 0 1);
+  check_int "(1,0)" 3 (M.get m 1 0);
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Intmat.of_rows: ragged or empty rows") (fun () ->
+      ignore (M.of_rows [ [ 1 ]; [ 1; 2 ] ]))
+
+let test_identity_mul () =
+  let i3 = M.identity 3 in
+  let m = M.of_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ] in
+  Alcotest.check mat "I*m = m" m (M.mul i3 m);
+  Alcotest.check mat "m*I = m" m (M.mul m i3)
+
+let test_mul_known () =
+  let a = M.of_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = M.of_rows [ [ 0; 1 ]; [ 1; 0 ] ] in
+  Alcotest.check mat "a*b" (M.of_rows [ [ 2; 1 ]; [ 4; 3 ] ]) (M.mul a b)
+
+let test_apply () =
+  (* The skew-then-interchange example from paper Figure 1:
+     first skew j by i (j' = i + j), then interchange. *)
+  let skew = M.skew 2 0 1 1 in
+  let inter = M.interchange 2 0 1 in
+  let t = M.mul inter skew in
+  let d = M.apply t [| 1; 0 |] in
+  Alcotest.(check (array int)) "skew+interchange (1,0)" [| 1; 1 |] d;
+  let d = M.apply t [| 0; 1 |] in
+  Alcotest.(check (array int)) "skew+interchange (0,1)" [| 1; 0 |] d
+
+let test_transpose () =
+  let m = M.of_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  Alcotest.check mat "transpose"
+    (M.of_rows [ [ 1; 4 ]; [ 2; 5 ]; [ 3; 6 ] ])
+    (M.transpose m);
+  Alcotest.check mat "involution" m (M.transpose (M.transpose m))
+
+(* ------------------------------------------------------------------ *)
+(* Determinants and unimodularity                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_det_known () =
+  check_int "det I3" 1 (M.det (M.identity 3));
+  check_int "det 2x2" (-2) (M.det (M.of_rows [ [ 1; 2 ]; [ 3; 4 ] ]));
+  check_int "det singular" 0 (M.det (M.of_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  check_int "det needs pivot swap" (-1)
+    (M.det (M.of_rows [ [ 0; 1 ]; [ 1; 0 ] ]));
+  check_int "det 3x3" (-306)
+    (M.det (M.of_rows [ [ 6; 1; 1 ]; [ 4; -2; 5 ]; [ 2; 8; 7 ] ]))
+
+let test_unimodular_generators () =
+  check_bool "interchange unimodular" true (M.is_unimodular (M.interchange 4 1 3));
+  check_bool "reversal unimodular" true (M.is_unimodular (M.reversal 4 2));
+  check_bool "skew unimodular" true (M.is_unimodular (M.skew 4 0 3 17));
+  check_bool "permutation unimodular" true
+    (M.is_unimodular (M.permutation [| 2; 0; 1 |]));
+  check_bool "non-unimodular rejected" false
+    (M.is_unimodular (M.of_rows [ [ 2; 0 ]; [ 0; 1 ] ]))
+
+let test_inverse () =
+  let m = M.mul (M.skew 3 0 2 5) (M.mul (M.interchange 3 0 1) (M.reversal 3 2)) in
+  let mi = M.inverse_unimodular m in
+  Alcotest.check mat "m * m^-1 = I" (M.identity 3) (M.mul m mi);
+  Alcotest.check mat "m^-1 * m = I" (M.identity 3) (M.mul mi m);
+  Alcotest.check_raises "inverse of non-unimodular"
+    (Invalid_argument "Intmat.inverse_unimodular: matrix is not unimodular")
+    (fun () -> ignore (M.inverse_unimodular (M.of_rows [ [ 2 ] ])))
+
+let test_permutation_semantics () =
+  (* perm.(k) = destination of loop k: y_{perm k} = x_k. *)
+  let p = M.permutation [| 2; 0; 1 |] in
+  let y = M.apply p [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "permutation apply" [| 20; 30; 10 |] y
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_small_mat n =
+  QCheck.Gen.(
+    array_size (return (n * n)) (int_range (-4) 4)
+    |> map (fun a -> M.make n n (fun i j -> a.((i * n) + j))))
+
+let arb_mat3 = QCheck.make ~print:(Format.asprintf "%a" M.pp) (gen_small_mat 3)
+
+let gen_unimodular n =
+  (* Product of random elementary unimodular matrices: always unimodular. *)
+  QCheck.Gen.(
+    list_size (int_range 1 6)
+      (oneof
+         [
+           map2 (fun i j -> M.interchange n i j) (int_range 0 (n - 1)) (int_range 0 (n - 1));
+           map (fun i -> M.reversal n i) (int_range 0 (n - 1));
+           (fun st ->
+             let i = int_range 0 (n - 1) st in
+             let j = (i + 1 + int_range 0 (n - 2) st) mod n in
+             let f = int_range (-3) 3 st in
+             M.skew n i j f);
+         ])
+    |> map (List.fold_left M.mul (M.identity n)))
+
+let arb_unimodular3 =
+  QCheck.make ~print:(Format.asprintf "%a" M.pp) (gen_unimodular 3)
+
+let prop_det_multiplicative =
+  QCheck.Test.make ~name:"det (a*b) = det a * det b" ~count:200
+    (QCheck.pair arb_mat3 arb_mat3) (fun (a, b) ->
+      M.det (M.mul a b) = M.det a * M.det b)
+
+let prop_det_transpose =
+  QCheck.Test.make ~name:"det (transpose a) = det a" ~count:200 arb_mat3
+    (fun a -> M.det (M.transpose a) = M.det a)
+
+let prop_unimodular_closed =
+  QCheck.Test.make ~name:"unimodular products stay unimodular" ~count:100
+    arb_unimodular3 M.is_unimodular
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"unimodular inverse roundtrip" ~count:100
+    arb_unimodular3 (fun m ->
+      M.equal (M.mul m (M.inverse_unimodular m)) (M.identity 3))
+
+let prop_apply_linear =
+  QCheck.Test.make ~name:"apply is linear" ~count:200
+    (QCheck.pair arb_mat3
+       (QCheck.pair
+          (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.int_range (-9) 9))
+          (QCheck.array_of_size (QCheck.Gen.return 3) (QCheck.int_range (-9) 9))))
+    (fun (m, (u, v)) ->
+      let w = Array.init 3 (fun i -> u.(i) + v.(i)) in
+      let mu = M.apply m u and mv = M.apply m v and mw = M.apply m w in
+      Array.init 3 (fun i -> mu.(i) + mv.(i)) = mw)
+
+let gen_ratio =
+  QCheck.Gen.(
+    map2 (fun n d -> R.make n (if d = 0 then 1 else d)) (int_range (-50) 50)
+      (int_range (-20) 20))
+
+let arb_ratio = QCheck.make ~print:R.to_string gen_ratio
+
+let prop_ratio_add_comm =
+  QCheck.Test.make ~name:"ratio add commutative" ~count:300
+    (QCheck.pair arb_ratio arb_ratio) (fun (a, b) ->
+      R.equal (R.add a b) (R.add b a))
+
+let prop_ratio_mul_assoc =
+  QCheck.Test.make ~name:"ratio mul associative" ~count:300
+    (QCheck.triple arb_ratio arb_ratio arb_ratio) (fun (a, b, c) ->
+      R.equal (R.mul a (R.mul b c)) (R.mul (R.mul a b) c))
+
+let prop_ratio_floor_le_ceil =
+  QCheck.Test.make ~name:"floor <= value <= ceil, gap < 1" ~count:300 arb_ratio
+    (fun a ->
+      let f = R.floor a and c = R.ceil a in
+      R.compare (R.of_int f) a <= 0
+      && R.compare a (R.of_int c) <= 0
+      && c - f <= 1)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_det_multiplicative;
+      prop_det_transpose;
+      prop_unimodular_closed;
+      prop_inverse_roundtrip;
+      prop_apply_linear;
+      prop_ratio_add_comm;
+      prop_ratio_mul_assoc;
+      prop_ratio_floor_le_ceil;
+    ]
+
+let () =
+  Alcotest.run "intmat"
+    [
+      ( "ratio",
+        [
+          Alcotest.test_case "canonical form" `Quick test_ratio_canonical;
+          Alcotest.test_case "arithmetic" `Quick test_ratio_arith;
+          Alcotest.test_case "division by zero" `Quick test_ratio_div_by_zero;
+          Alcotest.test_case "floor/ceil" `Quick test_ratio_floor_ceil;
+          Alcotest.test_case "compare/sign/min/max" `Quick test_ratio_compare;
+          Alcotest.test_case "integer conversion" `Quick test_ratio_to_int;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "construction" `Quick test_construct;
+          Alcotest.test_case "identity multiplication" `Quick test_identity_mul;
+          Alcotest.test_case "known product" `Quick test_mul_known;
+          Alcotest.test_case "apply (fig 1 skew+interchange)" `Quick test_apply;
+          Alcotest.test_case "transpose" `Quick test_transpose;
+          Alcotest.test_case "determinants" `Quick test_det_known;
+          Alcotest.test_case "unimodular generators" `Quick test_unimodular_generators;
+          Alcotest.test_case "unimodular inverse" `Quick test_inverse;
+          Alcotest.test_case "permutation semantics" `Quick test_permutation_semantics;
+        ] );
+      ("properties", qcheck_tests);
+    ]
