@@ -646,7 +646,117 @@ let bechamel_suite () =
         analyzed)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* EXP-SEARCH: old vs new transformation search engine                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares [Search.best] (from-root replay of every candidate) against
+   [Engine.search] (incremental prefix states + canonical-sequence memo),
+   sequential and parallel, on the same beam search. Both engines are
+   instrumented with the same counter (one bump per template stage
+   application inside legality checking), so "template applications" is an
+   implementation-independent work measure. Results go to stdout and to
+   BENCH_search.json in the working directory. *)
+let search_bench () =
+  section "EXP-SEARCH | search engine: incremental + memoized + multicore";
+  let lu () =
+    Itf_lang.Parser.parse_nest
+      "do k = 1, n\n\
+      \  do i = k + 1, n\n\
+      \    do j = k + 1, n\n\
+      \      a(i, j) = a(i, j) - a(i, k) * a(k, j)\n\
+      \    enddo\n\
+      \  enddo\n\
+       enddo\n"
+  in
+  let module Search = Itf_opt.Search in
+  let module Engine = Itf_opt.Engine in
+  let cases =
+    [
+      ( "stencil/parallel",
+        stencil (),
+        Search.parallel_time ~procs:4 ~params:[ ("n", 10) ] (),
+        3 );
+      ( "matmul/locality",
+        matmul (),
+        Search.cache_misses ~params:[ ("n", 16) ] (),
+        3 );
+      ( "lu/parallel",
+        lu (),
+        Search.parallel_time ~procs:4 ~params:[ ("n", 10) ] (),
+        3 );
+    ]
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let par_domains = Itf_opt.Engine.default_domains () in
+  Format.printf "parallel runs use %d domains@." par_domains;
+  let jsons =
+    List.map
+      (fun (name, nest, objective, steps) ->
+        let old_, old_t = time (fun () -> Search.best ~steps nest objective) in
+        let seq_, seq_t =
+          time (fun () -> Engine.search ~steps ~domains:1 nest objective)
+        in
+        let par_, par_t =
+          time (fun () ->
+              Engine.search ~steps ~domains:par_domains nest objective)
+        in
+        match (old_, seq_, par_) with
+        | Some old_, Some seq_, Some par_ ->
+          let same_winner =
+            Itf_core.Sequence.compare
+              (Itf_core.Sequence.reduce old_.Search.sequence)
+              seq_.Engine.canonical
+            = 0
+            && old_.Search.score = seq_.Engine.score
+            && Itf_core.Sequence.compare seq_.Engine.canonical
+                 par_.Engine.canonical
+               = 0
+            && seq_.Engine.score = par_.Engine.score
+          in
+          if not same_winner then
+            failwith (name ^ ": engines disagree on the winner");
+          let stats = seq_.Engine.stats in
+          let apps = stats.Itf_opt.Stats.template_applications in
+          let reduction =
+            float old_.Search.checked_templates /. float (max 1 apps)
+          in
+          Format.printf
+            "%-18s old %.3fs (%d applications) | new seq %.3fs (%d \
+             applications, %.1fx fewer) | new par %.3fs | speedup seq %.2fx \
+             par %.2fx | same winner: %b@."
+            name old_t old_.Search.checked_templates seq_t apps reduction par_t
+            (old_t /. seq_t) (old_t /. par_t) same_winner;
+          Printf.sprintf
+            "{\"name\": %S, \"steps\": %d, \"old_time_s\": %.6f, \
+             \"old_template_applications\": %d, \"old_explored\": %d, \
+             \"new_seq_time_s\": %.6f, \"new_par_time_s\": %.6f, \
+             \"speedup_seq\": %.3f, \"speedup_par\": %.3f, \
+             \"template_reduction\": %.3f, \"same_winner\": %b, \
+             \"stats_seq\": %s, \"stats_par\": %s}"
+            name steps old_t old_.Search.checked_templates old_.Search.explored
+            seq_t par_t (old_t /. seq_t) (old_t /. par_t) reduction same_winner
+            (Itf_opt.Stats.to_json stats)
+            (Itf_opt.Stats.to_json par_.Engine.stats)
+        | _ -> failwith (name ^ ": a search returned nothing"))
+      cases
+  in
+  let oc = open_out "BENCH_search.json" in
+  output_string oc
+    (Printf.sprintf "{\"domains_par\": %d, \"cases\": [%s]}\n" par_domains
+       (String.concat ", " jsons));
+  close_out oc;
+  Format.printf "wrote BENCH_search.json@."
+
 let () =
+  if Array.exists (( = ) "--search") Sys.argv then begin
+    search_bench ();
+    exit 0
+  end;
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   table1 ();
   fig1 ();

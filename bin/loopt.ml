@@ -187,7 +187,7 @@ let apply_cmd =
 (* ------------------------------------------------------------------ *)
 
 let optimize_cmd =
-  let run nest_path objective params procs steps =
+  let run nest_path objective params procs steps domains show_stats =
     match parse_nest_file nest_path with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -202,17 +202,20 @@ let optimize_cmd =
           Printf.eprintf "error: unknown objective %s (use locality|parallel)\n" other;
           exit 1
       in
-      match Itf_opt.Search.best ~steps nest obj with
+      match Itf_opt.Engine.search ~steps ?domains nest obj with
       | None ->
         Printf.eprintf "error: nest could not be scored\n";
         1
-      | Some { Itf_opt.Search.sequence; result; score; explored } ->
-        Format.printf "explored %d candidate sequences@." explored;
+      | Some { Itf_opt.Engine.sequence; result; score; stats; _ } ->
+        Format.printf "explored %d candidate sequences@."
+          stats.Itf_opt.Stats.nodes_explored;
         Format.printf "== best sequence (score %.1f) ==@." score;
         if sequence = [] then Format.printf "(identity)@."
         else Format.printf "%a@." Itf_core.Sequence.pp sequence;
         Format.printf "== transformed nest ==@.%a@." Nest.pp
           result.Itf_core.Framework.nest;
+        if show_stats then
+          Format.printf "== search stats ==@.%a@." Itf_opt.Stats.pp stats;
         0)
   in
   let objective =
@@ -227,9 +230,22 @@ let optimize_cmd =
   let steps =
     Arg.(value & opt int 2 & info [ "steps" ] ~doc:"Maximum sequence length to search.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:
+            "Search parallelism (OCaml domains). Defaults to the machine's \
+             core count minus one; 1 forces a sequential search (same \
+             result either way).")
+  in
+  let show_stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print search instrumentation (cache hits, saved template applications, timings).")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Search for a legal transformation sequence minimizing an objective.")
-    Term.(const run $ nest_arg $ objective $ params_arg $ procs $ steps)
+    Term.(const run $ nest_arg $ objective $ params_arg $ procs $ steps $ domains $ show_stats)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)

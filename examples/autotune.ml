@@ -26,11 +26,11 @@ let matmul =
 let report label nest objective ~steps =
   Format.printf "== %s ==@." label;
   let baseline = objective (F.apply_exn nest []) in
-  match Search.best ~steps nest objective with
+  match Itf_opt.Engine.search ~steps nest objective with
   | None -> Format.printf "could not score the nest@."
-  | Some { Search.sequence; result; score; explored } ->
-    Format.printf "explored %d sequences; objective %.0f -> %.0f@." explored
-      baseline score;
+  | Some { Itf_opt.Engine.sequence; result; score; stats; _ } ->
+    Format.printf "explored %d sequences; objective %.0f -> %.0f@."
+      stats.Itf_opt.Stats.nodes_explored baseline score;
     if sequence = [] then Format.printf "best: keep the nest as is@."
     else Format.printf "best sequence:@.%a@." Itf_core.Sequence.pp sequence;
     Format.printf "transformed nest:@.%a@.@." Nest.pp result.F.nest

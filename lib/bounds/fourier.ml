@@ -27,8 +27,24 @@ let normalize (q : ineq) =
       { coeffs = Array.map (fun c -> c / g) q.coeffs; base = Expr.int (Expr.(match div (int b) (int g) with Int v -> v | _ -> b / g)) }
     | None -> q
 
+(* Explicit comparator for the FM inner loop: coefficient vectors first
+   (cheap int comparisons), then the base expression via [Expr.compare].
+   Polymorphic compare here was both slower on the hot path and fragile
+   should [Expr.t] ever gain a non-structural field. *)
+let compare_ineq (a : ineq) (b : ineq) =
+  let la = Array.length a.coeffs and lb = Array.length b.coeffs in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go k =
+      if k >= la then Expr.compare a.base b.base
+      else
+        let c = Int.compare a.coeffs.(k) b.coeffs.(k) in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+
 let dedupe ineqs =
-  List.sort_uniq compare (List.map normalize ineqs)
+  List.sort_uniq compare_ineq (List.map normalize ineqs)
 
 (* Highest index with a nonzero coefficient, or -1. *)
 let level (q : ineq) =

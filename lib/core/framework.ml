@@ -6,8 +6,8 @@ type result = {
 
 exception Illegal of Legality.verdict
 
-let apply ?vectors nest seq =
-  match Legality.check ?vectors nest seq with
+let apply ?count ?vectors nest seq =
+  match Legality.check ?count ?vectors nest seq with
   | Legality.Legal { nest; vectors; stages } -> Ok { nest; vectors; stages }
   | verdict -> Error verdict
 
@@ -18,3 +18,17 @@ let apply_exn ?vectors nest seq =
 
 let map_vectors seq vectors =
   List.fold_left (fun vs t -> Depmap.map_set t vs) vectors seq
+
+(* Incremental interface: a state is an already-checked sequence prefix;
+   extending appends one template in O(1) template applications. *)
+
+type state = Legality.state
+
+let start = Legality.start
+
+let extend = Legality.extend
+
+let finish state =
+  match Legality.state_verdict state with
+  | Legality.Legal { nest; vectors; stages } -> Ok { nest; vectors; stages }
+  | verdict -> Error verdict

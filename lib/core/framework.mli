@@ -25,13 +25,16 @@ type result = {
 }
 
 val apply :
+  ?count:int ref ->
   ?vectors:Itf_dep.Depvec.t list ->
   Itf_ir.Nest.t ->
   Sequence.t ->
   (result, Legality.verdict) Stdlib.result
 (** Check legality and generate code. [vectors] overrides the dependence
     analyzer (used for nests whose dependences are known externally, e.g.
-    paper Figure 2's examples). [Error] carries the failing verdict. *)
+    paper Figure 2's examples). [count] accumulates template stage
+    applications performed (see {!Legality.check}). [Error] carries the
+    failing verdict. *)
 
 val apply_exn :
   ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> result
@@ -41,3 +44,22 @@ exception Illegal of Legality.verdict
 
 val map_vectors : Sequence.t -> Itf_dep.Depvec.t list -> Itf_dep.Depvec.t list
 (** Dependence-vector image of a whole sequence (no bounds checks). *)
+
+(** {1 Incremental application}
+
+    The search engine's hot path: a {!state} is a legality-checked sequence
+    prefix; {!extend} appends one template without replaying the prefix.
+    [apply nest (seq @ [t])] and [start nest |> extend ... |> finish] agree
+    (see {!Legality.extend} for the exact contract). *)
+
+type state = Legality.state
+
+val start : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> state
+
+val extend :
+  ?count:int ref -> state -> Template.t -> (state, Legality.verdict) Stdlib.result
+(** [count], when given, accumulates template stage applications performed
+    (instrumentation). *)
+
+val finish : state -> (result, Legality.verdict) Stdlib.result
+(** Run the final dependence test and package the prefix as a {!result}. *)

@@ -41,7 +41,9 @@ let rectangular_bands bm (t : Template.t) =
     done;
     !ok
 
-let check ?vectors nest (seq : Sequence.t) =
+let bump count n = match count with None -> () | Some r -> r := !r + n
+
+let check ?count ?vectors nest (seq : Sequence.t) =
   if not (Sequence.well_formed seq) then
     invalid_arg "Legality.check: sequence does not chain";
   (match seq with
@@ -57,6 +59,7 @@ let check ?vectors nest (seq : Sequence.t) =
       | Some vector -> Dependence_violation { vector }
       | None -> Legal { nest; vectors; stages = List.rev stages })
     | t :: rest -> (
+      bump count 1;
       let bm = Bmat.of_nest nest in
       match Boundsmap.check bm t with
       | _ :: _ as violations -> Bounds_violation { index; violations }
@@ -118,6 +121,137 @@ let check ?vectors nest (seq : Sequence.t) =
 
 let is_legal ?vectors nest seq =
   match check ?vectors nest seq with Legal _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Resumable prefix states (incremental legality for search engines)   *)
+(* ------------------------------------------------------------------ *)
+
+type state = {
+  s_nest : Nest.t;
+  s_vectors : Depvec.t list;
+  s_stages_rev : stage list;
+  s_seq_rev : Template.t list;
+  s_root_nest : Nest.t;
+  s_root_vectors : Depvec.t list;
+  s_raw_failure : verdict option;
+      (* [Some v]: the stage-by-stage path of this prefix fails with [v]
+         and the prefix is legal only through its reduced sequence. Any
+         extension must then replay the reduced sequence from the root,
+         exactly as [check] would. *)
+}
+
+let start ?vectors nest =
+  let vectors =
+    match vectors with Some v -> v | None -> Itf_dep.Analysis.vectors nest
+  in
+  {
+    s_nest = nest;
+    s_vectors = vectors;
+    s_stages_rev = [];
+    s_seq_rev = [];
+    s_root_nest = nest;
+    s_root_vectors = vectors;
+    s_raw_failure = None;
+  }
+
+let state_nest st = st.s_nest
+let state_vectors st = st.s_vectors
+let state_sequence st = List.rev st.s_seq_rev
+
+let state_verdict st =
+  match Depvec.set_may_lex_negative st.s_vectors with
+  | Some vector -> Dependence_violation { vector }
+  | None ->
+    Legal
+      {
+        nest = st.s_nest;
+        vectors = st.s_vectors;
+        stages = List.rev st.s_stages_rev;
+      }
+
+(* The appended stage failed its bounds preconditions on the stage-by-stage
+   path; mirror [check]'s fallback: accept iff the reduced sequence is
+   legal from the root, otherwise report the stage-by-stage failure. *)
+let extend_fallback ?count st t raw_failure =
+  let seq = List.rev (t :: st.s_seq_rev) in
+  let reduced = Sequence.reduce seq in
+  if reduced = seq then Error raw_failure
+  else
+    match check ?count ~vectors:st.s_root_vectors st.s_root_nest reduced with
+    | Legal { nest; vectors; stages } ->
+      Ok
+        {
+          st with
+          s_nest = nest;
+          s_vectors = vectors;
+          s_stages_rev = List.rev stages;
+          s_seq_rev = t :: st.s_seq_rev;
+          s_raw_failure = Some raw_failure;
+        }
+    | _ -> Error raw_failure
+
+let extend ?count st (t : Template.t) =
+  if Template.input_depth t <> Nest.depth st.s_nest then
+    invalid_arg "Legality.extend: template does not chain with the state";
+  match st.s_raw_failure with
+  | Some raw ->
+    (* The stage-by-stage path already fails inside the prefix, so the
+       appended raw sequence fails identically; only the reduced path can
+       accept it. *)
+    extend_fallback ?count st t raw
+  | None -> (
+    bump count 1;
+    let index = List.length st.s_seq_rev in
+    let bm = Bmat.of_nest st.s_nest in
+    match Boundsmap.check bm t with
+    | _ :: _ as violations ->
+      extend_fallback ?count st t (Bounds_violation { index; violations })
+    | [] -> (
+      let stage =
+        {
+          index;
+          template = t;
+          nest_before = st.s_nest;
+          vectors_before = st.s_vectors;
+        }
+      in
+      let rectangular_bands = rectangular_bands bm t in
+      match Codegen.apply st.s_nest t with
+      | nest' ->
+        Ok
+          {
+            st with
+            s_nest = nest';
+            s_vectors = Depmap.map_set ~rectangular_bands t st.s_vectors;
+            s_stages_rev = stage :: st.s_stages_rev;
+            s_seq_rev = t :: st.s_seq_rev;
+          }
+      | exception (Invalid_argument msg | Failure msg) ->
+        extend_fallback ?count st t
+          (Bounds_violation
+             {
+               index;
+               violations =
+                 [
+                   {
+                     Boundsmap.template = Template.name t;
+                     message = "code generation rejected the nest: " ^ msg;
+                   };
+                 ];
+             })
+      | exception Itf_bounds.Fourier.Unbounded what ->
+        extend_fallback ?count st t
+          (Bounds_violation
+             {
+               index;
+               violations =
+                 [
+                   {
+                     Boundsmap.template = Template.name t;
+                     message = "transformed iteration space unbounded in " ^ what;
+                   };
+                 ];
+             })))
 
 let pp_verdict ppf = function
   | Legal { vectors; _ } ->

@@ -34,11 +34,52 @@ type verdict =
           (** a final vector admitting a lex-negative tuple *)
     }
 
-val check : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> verdict
+val check :
+  ?count:int ref ->
+  ?vectors:Itf_dep.Depvec.t list ->
+  Itf_ir.Nest.t ->
+  Sequence.t ->
+  verdict
 (** [check nest seq] — [vectors] defaults to {!Itf_dep.Analysis.vectors}
-    on the nest. @raise Invalid_argument if [seq] does not chain with the
-    nest's depth. *)
+    on the nest. [count], when given, is incremented once per template
+    stage application attempted (including reduced-sequence retries) —
+    the instrumentation used to compare search engines.
+    @raise Invalid_argument if [seq] does not chain with the nest's
+    depth. *)
 
 val is_legal : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> bool
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Resumable prefix states}
+
+    Search engines grow candidate sequences one template at a time. A
+    [state] carries the transformed nest, mapped dependence vectors and
+    per-stage records of an already-checked prefix, so appending a template
+    costs {e one} template application instead of replaying the whole
+    prefix from the root (the transformation/nest separation of paper
+    Section 5 makes the prefix state self-contained). *)
+
+type state
+
+val start : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> state
+(** The empty-prefix state; [vectors] defaults to
+    {!Itf_dep.Analysis.vectors} on the nest. *)
+
+val extend :
+  ?count:int ref -> state -> Template.t -> (state, verdict) Stdlib.result
+(** [extend st t] appends one template: checks [t]'s bounds preconditions
+    against the prefix nest, generates its code and maps the dependence
+    vectors. Agrees with [check root (prefix @ [t])] up to the final
+    dependence test (deferred to {!state_verdict}, since intermediate
+    vector sets need not be legal — paper Section 3.2), including the
+    reduced-sequence fallback on a bounds violation.
+    @raise Invalid_argument if [t] does not chain with the state's depth. *)
+
+val state_verdict : state -> verdict
+(** Final dependence-vector test of the prefix; [Legal] carries the same
+    nest/vectors/stages [check] would return for it. *)
+
+val state_nest : state -> Itf_ir.Nest.t
+val state_vectors : state -> Itf_dep.Depvec.t list
+val state_sequence : state -> Sequence.t

@@ -68,6 +68,18 @@ let rec reduce seq =
 
 let compose t u = reduce (t @ u)
 
+(* Identity of a sequence for memoization: two sequences are the "same
+   transformation state" when their reductions coincide (e.g. interchange
+   twice = identity), so search caches key on [reduce]. *)
+let compare (a : t) (b : t) = List.compare Template.compare a b
+
+let equal a b = compare a b = 0
+
+let hash (seq : t) =
+  List.fold_left
+    (fun h t -> Itf_ir.Expr.hash_combine h (Template.hash t))
+    (List.length seq) seq
+
 let pp ppf (seq : t) =
   Format.fprintf ppf "@[<v>";
   List.iteri

@@ -32,4 +32,16 @@ val reduce : t -> t
 
 val is_identity : Template.t -> bool
 
+val compare : t -> t -> int
+(** Lexicographic over {!Template.compare}; a total order usable as a
+    deterministic tie-break. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash compatible with [equal]. Search engines key their memo
+    tables on the {e canonical} ([reduce]d) sequence, under which distinct
+    spellings of the same transformation (e.g. interchange twice = identity)
+    collide as intended. *)
+
 val pp : Format.formatter -> t -> unit

@@ -99,6 +99,89 @@ let to_matrix = function
            if perm.(c) = r then if rev.(c) then -1 else 1 else 0))
   | Parallelize _ | Block _ | Coalesce _ | Interleave _ -> None
 
+(* Explicit total order and hash over instantiations. [Intmat.t] is
+   abstract and [Expr.t] may one day carry non-structural data, so the
+   polymorphic comparisons are deliberately avoided. *)
+let tag = function
+  | Unimodular _ -> 0
+  | Reverse_permute _ -> 1
+  | Parallelize _ -> 2
+  | Block _ -> 3
+  | Coalesce _ -> 4
+  | Interleave _ -> 5
+
+let compare_array cmp a b =
+  let c = Int.compare (Array.length a) (Array.length b) in
+  if c <> 0 then c
+  else
+    let rec go k =
+      if k >= Array.length a then 0
+      else
+        let c = cmp a.(k) b.(k) in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+
+let compare (a : t) (b : t) =
+  match (a, b) with
+  | Unimodular { n = n1; m = m1 }, Unimodular { n = n2; m = m2 } ->
+    let c = Int.compare n1 n2 in
+    if c <> 0 then c else Intmat.compare m1 m2
+  | ( Reverse_permute { n = n1; rev = r1; perm = p1 },
+      Reverse_permute { n = n2; rev = r2; perm = p2 } ) ->
+    let c = Int.compare n1 n2 in
+    if c <> 0 then c
+    else
+      let c = compare_array Bool.compare r1 r2 in
+      if c <> 0 then c else compare_array Int.compare p1 p2
+  | Parallelize { n = n1; parflag = f1 }, Parallelize { n = n2; parflag = f2 }
+    ->
+    let c = Int.compare n1 n2 in
+    if c <> 0 then c else compare_array Bool.compare f1 f2
+  | ( Block { n = n1; i = i1; j = j1; bsize = b1 },
+      Block { n = n2; i = i2; j = j2; bsize = b2 } )
+  | ( Interleave { n = n1; i = i1; j = j1; isize = b1 },
+      Interleave { n = n2; i = i2; j = j2; isize = b2 } ) ->
+    let c = Int.compare n1 n2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare i1 i2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare j1 j2 in
+        if c <> 0 then c else compare_array Expr.compare b1 b2
+  | Coalesce { n = n1; i = i1; j = j1 }, Coalesce { n = n2; i = i2; j = j2 } ->
+    let c = Int.compare n1 n2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare i1 i2 in
+      if c <> 0 then c else Int.compare j1 j2
+  | _ -> Int.compare (tag a) (tag b)
+
+let equal a b = compare a b = 0
+
+let hash (t : t) =
+  let comb = Expr.hash_combine in
+  let hash_bools h fs =
+    Array.fold_left (fun h b -> comb h (if b then 1 else 2)) h fs
+  in
+  match t with
+  | Unimodular { n; m } -> comb (comb 1 n) (Intmat.hash m)
+  | Reverse_permute { n; rev; perm } ->
+    Array.fold_left comb (hash_bools (comb 2 n) rev) perm
+  | Parallelize { n; parflag } -> hash_bools (comb 3 n) parflag
+  | Block { n; i; j; bsize } ->
+    Array.fold_left
+      (fun h e -> comb h (Expr.hash e))
+      (comb (comb (comb 4 n) i) j)
+      bsize
+  | Coalesce { n; i; j } -> comb (comb (comb 5 n) i) j
+  | Interleave { n; i; j; isize } ->
+    Array.fold_left
+      (fun h e -> comb h (Expr.hash e))
+      (comb (comb (comb 6 n) i) j)
+      isize
+
 let name = function
   | Unimodular _ -> "Unimodular"
   | Reverse_permute _ -> "ReversePermute"

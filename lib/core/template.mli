@@ -68,5 +68,16 @@ val to_matrix : t -> Itf_mat.Intmat.t option
     [None] for the non-matrix templates — [Parallelize], [Block],
     [Coalesce], [Interleave] (paper Section 1). *)
 
+(** {1 Identity} *)
+
+val compare : t -> t -> int
+(** Explicit structural total order (no polymorphic compare: [Intmat.t] is
+    abstract and expressions are compared via {!Itf_ir.Expr.compare}). *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash compatible with [equal]. *)
+
 val name : t -> string
 val pp : Format.formatter -> t -> unit

@@ -66,6 +66,15 @@ let subset (a : t) (b : t) =
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 
+let elem_hash = function
+  | Dist n -> (2 * n) + 1
+  | Dir d -> 2 * Hashtbl.hash d
+
+(* Structural hash compatible with [equal]; lets dependence-vector sets key
+   the search engine's memo tables. *)
+let hash (d : t) =
+  Array.fold_left (fun h e -> (h * 31) + elem_hash e) (Array.length d) d
+
 let set_may_lex_negative ds = List.find_opt may_lex_negative ds
 
 let dedupe ds =

@@ -53,6 +53,9 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Structural hash compatible with [equal] (memo-table keying). *)
+
 (** {1 Sets of vectors} *)
 
 val set_may_lex_negative : t list -> t option

@@ -45,6 +45,31 @@ let to_rows t =
 let equal a b =
   a.rows = b.rows && a.cols = b.cols && a.data = b.data
 
+(* Explicit total order and hash (dimensions first, then row-major
+   entries); [t] is abstract, so clients cannot fall back on the
+   polymorphic versions. *)
+let compare a b =
+  let c = Int.compare a.rows b.rows in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.cols b.cols in
+    if c <> 0 then c
+    else
+      let n = Array.length a.data in
+      let rec go k =
+        if k >= n then 0
+        else
+          let c = Int.compare a.data.(k) b.data.(k) in
+          if c <> 0 then c else go (k + 1)
+      in
+      go 0
+
+let hash t =
+  Array.fold_left
+    (fun h x -> (h * 31) + x)
+    ((t.rows * 31) + t.cols)
+    t.data
+
 let map2 name f a b =
   if a.rows <> b.rows || a.cols <> b.cols then
     invalid_arg (name ^ ": dimension mismatch");

@@ -38,6 +38,13 @@ val to_rows : t -> int list list
 (** {1 Algebra} *)
 
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order: dimensions first, then row-major entries. *)
+
+val hash : t -> int
+(** Structural hash compatible with [equal]. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

@@ -108,6 +108,34 @@ let floor_div e c =
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b
 
+(* Structural hash, compatible with [equal]. A hand-rolled fold (rather
+   than [Hashtbl.hash]) so that deep expressions — skewed bounds grow with
+   every composed transformation — hash on their full structure instead of
+   the truncated prefix the polymorphic hash looks at. *)
+let hash_combine h k = (h * 31) + k
+
+let rec hash = function
+  | Int n -> hash_combine 1 n
+  | Var v -> hash_combine 2 (Hashtbl.hash v)
+  | Neg e -> hash_combine 3 (hash e)
+  | Add (a, b) -> hash_combine (hash_combine 4 (hash a)) (hash b)
+  | Sub (a, b) -> hash_combine (hash_combine 5 (hash a)) (hash b)
+  | Mul (a, b) -> hash_combine (hash_combine 6 (hash a)) (hash b)
+  | Div (a, b) -> hash_combine (hash_combine 7 (hash a)) (hash b)
+  | Mod (a, b) -> hash_combine (hash_combine 8 (hash a)) (hash b)
+  | Min (a, b) -> hash_combine (hash_combine 9 (hash a)) (hash b)
+  | Max (a, b) -> hash_combine (hash_combine 10 (hash a)) (hash b)
+  | Load { array; index } ->
+    List.fold_left
+      (fun h e -> hash_combine h (hash e))
+      (hash_combine 11 (Hashtbl.hash array))
+      index
+  | Call (f, args) ->
+    List.fold_left
+      (fun h e -> hash_combine h (hash e))
+      (hash_combine 12 (Hashtbl.hash f))
+      args
+
 let rec fold_vars f acc = function
   | Int _ -> acc
   | Var v -> f acc v

@@ -58,6 +58,14 @@ val equal : t -> t -> bool
 
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Structural hash compatible with [equal]; folds over the whole
+    expression (no depth truncation). *)
+
+val hash_combine : int -> int -> int
+(** The accumulator step used by [hash]; shared by the other IR hashes
+    ({!Stmt.hash}, {!Nest.hash}) so they compose consistently. *)
+
 val free_vars : t -> string list
 (** Variables read by the expression, without duplicates, sorted. *)
 

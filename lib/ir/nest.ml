@@ -72,6 +72,25 @@ let arrays_written t =
 
 let equal (a : t) (b : t) = a = b
 
+(* Structural nest hash: every loop header (variable, bounds, step, kind)
+   and every statement contributes. Compatible with [equal]; used by the
+   search engine to memoize per-nest computations. *)
+let hash (t : t) =
+  let hash_loop h l =
+    List.fold_left Expr.hash_combine h
+      [
+        Hashtbl.hash l.var;
+        Expr.hash l.lo;
+        Expr.hash l.hi;
+        Expr.hash l.step;
+        (match l.kind with Do -> 17 | Pardo -> 23);
+      ]
+  in
+  let hash_stmts h ss =
+    List.fold_left (fun h s -> Expr.hash_combine h (Stmt.hash s)) h ss
+  in
+  hash_stmts (hash_stmts (List.fold_left hash_loop 5381 t.loops) t.inits) t.body
+
 let pp ppf t =
   let indent k = String.make (2 * k) ' ' in
   let n = depth t in

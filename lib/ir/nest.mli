@@ -47,6 +47,11 @@ val arrays_read : t -> string list
 val arrays_written : t -> string list
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash compatible with [equal]: loop headers (variables,
+    bounds, steps, kinds), init statements and body all contribute. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders in the paper's concrete syntax: [do i = lo, hi, step] /
     [pardo ...] ... [enddo]. *)

@@ -18,6 +18,26 @@ let holds rel a b =
 
 let equal (a : t) (b : t) = a = b
 
+let rel_tag = function Lt -> 0 | Le -> 1 | Gt -> 2 | Ge -> 3 | Eq -> 4 | Ne -> 5
+
+let rec hash = function
+  | Store ({ array; index }, rhs) ->
+    List.fold_left
+      (fun h e -> Expr.hash_combine h (Expr.hash e))
+      (Expr.hash_combine 1 (Hashtbl.hash array))
+      (index @ [ rhs ])
+  | Set (x, rhs) ->
+    Expr.hash_combine (Expr.hash_combine 2 (Hashtbl.hash x)) (Expr.hash rhs)
+  | Guard { lhs; rel; rhs; body } ->
+    List.fold_left
+      (fun h s -> Expr.hash_combine h (hash s))
+      (Expr.hash_combine
+         (Expr.hash_combine
+            (Expr.hash_combine 3 (rel_tag rel))
+            (Expr.hash lhs))
+         (Expr.hash rhs))
+      body
+
 let rec free_vars = function
   | Store ({ index; _ }, rhs) ->
     List.sort_uniq String.compare

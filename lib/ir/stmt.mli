@@ -20,6 +20,9 @@ val pp_rel : Format.formatter -> rel -> unit
 
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Structural hash compatible with [equal]. *)
+
 val free_vars : t -> string list
 (** Variables read by the statement (not the stored-to scalar). *)
 

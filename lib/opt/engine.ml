@@ -1,0 +1,213 @@
+open Itf_ir
+module Template = Itf_core.Template
+module Framework = Itf_core.Framework
+module Sequence = Itf_core.Sequence
+
+type outcome = {
+  sequence : Sequence.t;
+  canonical : Sequence.t;
+  result : Framework.result;
+  score : float;
+  stats : Stats.t;
+}
+
+module SeqTbl = Hashtbl.Make (struct
+  type t = Sequence.t
+
+  let equal = Sequence.equal
+  let hash = Sequence.hash
+end)
+
+(* A frontier node: a legality-checked candidate. [state] is the resumable
+   prefix (possibly the state of [canon] rather than [seq] when the node
+   was served from cache — the two generate the same nest, so extensions
+   agree). *)
+type node = {
+  seq : Sequence.t;
+  canon : Sequence.t;
+  state : Framework.state;
+  result : Framework.result;
+  score : float;
+}
+
+(* Total order on candidates: (score, canonical sequence, raw sequence).
+   Beam cut-offs and the final winner are therefore independent of
+   generation order and of domain scheduling. *)
+let order a b =
+  let c = Float.compare a.score b.score in
+  if c <> 0 then c
+  else
+    let c = Sequence.compare a.canon b.canon in
+    if c <> 0 then c else Sequence.compare a.seq b.seq
+
+(* One candidate evaluation: extend the parent prefix by one template,
+   run the final dependence test, score. Runs on worker domains — all
+   mutable state ([count]) is local, the result is merged by the caller
+   in input order. [obj_ran] is true iff the objective simulation ran. *)
+let evaluate objective (parent, t) =
+  let count = ref 0 in
+  let outcome =
+    match Framework.extend ~count parent.state t with
+    | Error _ -> None
+    | Ok st -> (
+      match Framework.finish st with
+      | Error _ -> None
+      | Ok result -> Some (st, result))
+  in
+  match outcome with
+  | None -> (None, !count, false)
+  | Some (st, result) -> (
+    match objective result with
+    | score when Float.is_nan score -> (None, !count, true)
+    | score -> (Some (st, result, score), !count, true)
+    | exception _ -> (None, !count, true))
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains nest
+    (objective : Search.objective) =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let t_start = Unix.gettimeofday () in
+  let explored = ref 0 in
+  let duplicates = ref 0 in
+  let legality_hits = ref 0 in
+  let score_hits = ref 0 in
+  let illegal = ref 0 in
+  let applications = ref 0 in
+  let saved = ref 0 in
+  let objective_evals = ref 0 in
+  let expand_time = ref 0. in
+  let evaluate_time = ref 0. in
+  let merge_time = ref 0. in
+  let vectors = Itf_dep.Analysis.vectors nest in
+  let root =
+    incr explored;
+    let st = Framework.start ~vectors nest in
+    match Framework.finish st with
+    | Error _ -> None
+    | Ok result -> (
+      incr objective_evals;
+      match objective result with
+      | score when Float.is_nan score -> None
+      | score -> Some { seq = []; canon = []; state = st; result; score }
+      | exception _ -> None)
+  in
+  match root with
+  | None -> None
+  | Some root ->
+    (* Cross-step memo keyed on canonical (peephole-reduced) sequences:
+       [Some node] is a previously evaluated legal candidate, [None] a
+       previously rejected one. E.g. reversal twice reduces to [] and is
+       answered by the root's entry without touching the framework. *)
+    let cache : node option SeqTbl.t = SeqTbl.create 256 in
+    SeqTbl.add cache root.canon (Some root);
+    let pool = Pool.create (domains - 1) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let bests = ref [ root ] in
+        let frontier = ref [ root ] in
+        for _ = 1 to steps do
+          let t0 = Unix.gettimeofday () in
+          (* Expand: generate moves, canonicalize, dedupe within the step
+             (first spelling wins), consult the cache. Sequential — cheap
+             relative to evaluation, and keeps cache access single-domain. *)
+          let seen = SeqTbl.create 64 in
+          let hits = ref [] in
+          let misses = ref [] in
+          List.iter
+            (fun parent ->
+              let depth = Nest.depth parent.result.Framework.nest in
+              List.iter
+                (fun t ->
+                  let cand = parent.seq @ [ t ] in
+                  let canon = Sequence.reduce cand in
+                  if SeqTbl.mem seen canon then incr duplicates
+                  else begin
+                    SeqTbl.add seen canon ();
+                    incr explored;
+                    match SeqTbl.find_opt cache canon with
+                    | Some (Some cached) ->
+                      incr legality_hits;
+                      incr score_hits;
+                      saved := !saved + List.length cand;
+                      hits :=
+                        { cached with seq = cand; canon } :: !hits
+                    | Some None ->
+                      incr legality_hits;
+                      incr illegal;
+                      saved := !saved + List.length cand
+                    | None -> misses := (parent, t, cand, canon) :: !misses
+                  end)
+                (Search.moves ?block_sizes nest ~depth))
+            !frontier;
+          let hits = List.rev !hits in
+          let misses = Array.of_list (List.rev !misses) in
+          let t1 = Unix.gettimeofday () in
+          expand_time := !expand_time +. (t1 -. t0);
+          (* Evaluate the cache misses across the domain pool. [Pool.map]
+             preserves input order, so the merge below is deterministic. *)
+          let results =
+            Pool.map pool
+              (fun (parent, t, _, _) -> evaluate objective (parent, t))
+              misses
+          in
+          let t2 = Unix.gettimeofday () in
+          evaluate_time := !evaluate_time +. (t2 -. t1);
+          (* Merge in input order: fold counters, fill the cache, select
+             the beam with the total order. *)
+          let fresh = ref [] in
+          Array.iteri
+            (fun i (r, apps, obj_ran) ->
+              let _, _, cand, canon = misses.(i) in
+              applications := !applications + apps;
+              saved := !saved + max 0 (List.length cand - apps);
+              if obj_ran then incr objective_evals;
+              match r with
+              | Some (st, result, score) ->
+                let node = { seq = cand; canon; state = st; result; score } in
+                SeqTbl.replace cache canon (Some node);
+                fresh := node :: !fresh
+              | None ->
+                incr illegal;
+                SeqTbl.replace cache canon None)
+            results;
+          let top =
+            List.filteri
+              (fun k _ -> k < beam)
+              (List.sort order (hits @ List.rev !fresh))
+          in
+          frontier := top;
+          bests := top @ !bests;
+          let t3 = Unix.gettimeofday () in
+          merge_time := !merge_time +. (t3 -. t2)
+        done;
+        let winner = List.hd (List.sort order !bests) in
+        let total = Unix.gettimeofday () -. t_start in
+        let stats =
+          {
+            Stats.nodes_explored = !explored;
+            duplicates_pruned = !duplicates;
+            legality_cache_hits = !legality_hits;
+            score_cache_hits = !score_hits;
+            illegal = !illegal;
+            template_applications = !applications;
+            template_applications_saved = !saved;
+            objective_evaluations = !objective_evals;
+            domains;
+            expand_time_s = !expand_time;
+            evaluate_time_s = !evaluate_time;
+            merge_time_s = !merge_time;
+            total_time_s = total;
+          }
+        in
+        Some
+          {
+            sequence = winner.seq;
+            canonical = winner.canon;
+            result = winner.result;
+            score = winner.score;
+            stats;
+          })

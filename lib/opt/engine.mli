@@ -1,0 +1,47 @@
+(** Incremental, memoized, multicore transformation search.
+
+    Same beam search as {!Search.best} — same moves, same beam/steps
+    defaults, same winner — but engineered for throughput:
+
+    - {b incremental legality}: frontier nodes carry a resumable
+      {!Itf_core.Legality} prefix state, so appending a move costs one
+      template application instead of replaying the whole sequence;
+    - {b memoization}: candidates are canonicalized with
+      {!Itf_core.Sequence.reduce}; a cross-step cache keyed on the
+      canonical sequence answers re-derived transformations (interchange
+      twice, reversal pairs, composed unimodulars, ...) without touching
+      the framework;
+    - {b multicore}: cache misses are evaluated across a {!Pool} of OCaml 5
+      domains. Merging is order-preserving and candidates are ranked by a
+      total order (score, canonical sequence, raw sequence), so results
+      are bit-identical to a sequential run.
+
+    {!Stats} records what was done and what was avoided. *)
+
+open Itf_ir
+
+type outcome = {
+  sequence : Itf_core.Sequence.t;  (** winning sequence, as generated *)
+  canonical : Itf_core.Sequence.t;  (** its peephole reduction *)
+  result : Itf_core.Framework.result;
+  score : float;
+  stats : Stats.t;
+}
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core for
+    the rest of the process. *)
+
+val search :
+  ?beam:int ->
+  ?steps:int ->
+  ?block_sizes:int list ->
+  ?domains:int ->
+  Nest.t ->
+  Search.objective ->
+  outcome option
+(** [search nest objective] beam-searches like {!Search.best} (defaults
+    [beam = 6], [steps = 3]) and returns the same best score and canonical
+    sequence. [domains] is the total parallelism (default
+    {!default_domains}; [1] runs entirely on the calling domain). Returns
+    [None] when not even the untransformed nest is scoreable. *)

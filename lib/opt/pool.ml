@@ -1,0 +1,105 @@
+(* A small fixed-size domain pool (OCaml 5 [Domain], no external deps).
+
+   Workers block on a condition variable waiting for jobs; [map] publishes
+   one index-draining job per worker and the submitting thread drains
+   indices too, so a pool of [w] workers gives [w + 1]-way parallelism.
+   Results are written into per-index slots, which makes [map] order- and
+   schedule-independent: output.(i) is always [f input.(i)], so a merge
+   over the output array is deterministic regardless of how the domains
+   interleave. *)
+
+type t = {
+  mutable workers : unit Domain.t list;
+  jobs : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  work : Condition.t;
+  mutable shutdown : bool;
+}
+
+let worker t =
+  let rec next () =
+    if not (Queue.is_empty t.jobs) then Some (Queue.pop t.jobs)
+    else if t.shutdown then None
+    else begin
+      Condition.wait t.work t.mutex;
+      next ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let job = next () in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+      job ();
+      loop ()
+  in
+  loop ()
+
+let create workers =
+  let t =
+    {
+      workers = [];
+      jobs = Queue.create ();
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      shutdown = false;
+    }
+  in
+  let workers = max 0 workers in
+  t.workers <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = List.length t.workers
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.shutdown <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers
+
+let map t f (input : 'a array) : 'b array =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if t.workers = [] then Array.map f input
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make n in
+    let done_mutex = Mutex.create () in
+    let done_cond = Condition.create () in
+    let drain () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r = try Ok (f input.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+            Mutex.lock done_mutex;
+            Condition.signal done_cond;
+            Mutex.unlock done_mutex
+          end;
+          go ()
+        end
+      in
+      go ()
+    in
+    Mutex.lock t.mutex;
+    List.iter (fun _ -> Queue.push drain t.jobs) t.workers;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    drain ();
+    Mutex.lock done_mutex;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_cond done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

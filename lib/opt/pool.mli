@@ -1,0 +1,26 @@
+(** A small fixed-size domain pool (OCaml 5 [Domain]s, standard library
+    only) used by {!Engine} to fan candidate evaluation out across cores.
+
+    [map] preserves input order — [output.(i)] is always [f input.(i)] —
+    so callers can merge results deterministically regardless of domain
+    scheduling. *)
+
+type t
+
+val create : int -> t
+(** [create w] spawns [w] worker domains ([w = 0] gives a sequential pool
+    that runs everything on the calling thread). *)
+
+val size : t -> int
+(** Number of worker domains (excluding the calling thread, which also
+    participates in [map]). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map; blocks until every element is done. The
+    calling thread works alongside the pool, so parallelism is [size + 1].
+    If [f] raises on any element, the first such exception (in index order)
+    is re-raised after all elements finish. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. The pool must not be used
+    afterwards. *)

@@ -2,6 +2,8 @@ open Itf_ir
 module Template = Itf_core.Template
 module Framework = Itf_core.Framework
 
+module Sequence = Itf_core.Sequence
+
 type objective = Framework.result -> float
 
 type outcome = {
@@ -9,7 +11,15 @@ type outcome = {
   result : Framework.result;
   score : float;
   explored : int;
+  checked_templates : int;
 }
+
+module SeqTbl = Hashtbl.Make (struct
+  type t = Sequence.t
+
+  let equal = Sequence.equal
+  let hash = Sequence.hash
+end)
 
 (* ------------------------------------------------------------------ *)
 (* Moves                                                               *)
@@ -60,45 +70,71 @@ let moves ?(block_sizes = [ 4; 8 ]) (_ : Nest.t) ~depth =
 (* Beam search                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Candidates are ordered by (score, canonical sequence, raw sequence) — a
+   total order, so beam cut-offs and the final winner never depend on the
+   physical order in which candidates were generated. *)
+let order (s1, c1, _, x1) (s2, c2, _, x2) =
+  let c = Float.compare x1 x2 in
+  if c <> 0 then c
+  else
+    let c = Sequence.compare c1 c2 in
+    if c <> 0 then c else Sequence.compare s1 s2
+
 let best ?(beam = 6) ?(steps = 3) ?block_sizes nest objective =
   let explored = ref 0 in
+  let checked_templates = ref 0 in
   let vectors = Itf_dep.Analysis.vectors nest in
-  let try_seq seq =
+  let try_seq ~canon seq =
     incr explored;
-    match Framework.apply ~vectors nest seq with
+    match Framework.apply ~count:checked_templates ~vectors nest seq with
     | Ok result -> (
       match objective result with
       | score when Float.is_nan score -> None
-      | score -> Some (seq, result, score)
+      | score -> Some (seq, canon, result, score)
       | exception _ -> None)
     | Error _ -> None
   in
-  match try_seq [] with
+  match try_seq ~canon:[] [] with
   | None -> None
   | Some start ->
     let bests = ref [ start ] in
     let frontier = ref [ start ] in
     for _ = 1 to steps do
+      (* Expansions that reduce to the same canonical sequence are the same
+         transformation (e.g. interchange twice = identity): evaluate only
+         the first spelling so duplicates cannot crowd the beam. *)
+      let seen = SeqTbl.create 64 in
       let expansions =
         List.concat_map
-          (fun (seq, result, _) ->
+          (fun (seq, _, result, _) ->
             let depth = Nest.depth result.Framework.nest in
             List.filter_map
-              (fun t -> try_seq (seq @ [ t ]))
+              (fun t ->
+                let cand = seq @ [ t ] in
+                let canon = Sequence.reduce cand in
+                if SeqTbl.mem seen canon then None
+                else begin
+                  SeqTbl.add seen canon ();
+                  try_seq ~canon cand
+                end)
               (moves ?block_sizes nest ~depth))
           !frontier
       in
-      let sorted =
-        List.sort (fun (_, _, a) (_, _, b) -> compare a b) expansions
-      in
-      let top = List.filteri (fun k _ -> k < beam) sorted in
+      let top = List.filteri (fun k _ -> k < beam) (List.sort order expansions) in
       frontier := top;
       bests := top @ !bests
     done;
-    let seq, result, score =
-      List.hd (List.sort (fun (_, _, a) (_, _, b) -> compare a b) !bests)
-    in
-    Some { sequence = seq; result; score; explored = !explored }
+    (* [bests] may hold the same canonical sequence from several steps; the
+       total order makes the minimum a canonical-level dedupe. *)
+    let seq, _, result, score = List.hd (List.sort order !bests) in
+    Some
+      {
+        sequence = seq;
+        result;
+        score;
+        explored = !explored;
+        checked_templates = !checked_templates;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Objectives                                                          *)
@@ -135,7 +171,7 @@ let array_arities (nest : Nest.t) =
   List.iter stmt (nest.Nest.inits @ nest.Nest.body);
   Hashtbl.fold (fun a k acc -> (a, k) :: acc) tbl [] |> List.sort compare
 
-let make_env ~params nest =
+let make_env ~params arities =
   let env = Itf_exec.Env.create () in
   List.iter (fun (v, x) -> Itf_exec.Env.set_scalar env v x) params;
   let m = List.fold_left (fun acc (_, x) -> max acc (abs x)) 8 params in
@@ -145,19 +181,38 @@ let make_env ~params nest =
         (List.init arity (fun _ -> (-2 * m, 3 * m)));
       let data = Itf_exec.Env.array_data env a in
       Array.iteri (fun k _ -> data.(k) <- (k * 31) mod 97) data)
-    (array_arities nest);
+    arities;
   env
+
+(* The framework never rewrites array accesses (paper §1: bodies are kept,
+   initialization statements only define scalars), so the array-arity scan
+   gives the same answer for every transformed nest of one search. Each
+   objective instantiation scans once — on its first evaluation — and
+   reuses the result; an [Atomic] cell keeps the memo safe when the engine
+   evaluates candidates from several domains (a racing re-computation would
+   store the identical value). *)
+let memo_arities () =
+  let cell = Atomic.make None in
+  fun nest ->
+    match Atomic.get cell with
+    | Some arities -> arities
+    | None ->
+      let arities = array_arities nest in
+      Atomic.set cell (Some arities);
+      arities
 
 let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 })
     ~params () : objective =
- fun result ->
-  let nest = result.Framework.nest in
-  let env = make_env ~params nest in
-  let r = Itf_machine.Memsim.run config env nest in
-  float r.Itf_machine.Memsim.cache.Itf_machine.Cache.misses
+  let arities = memo_arities () in
+  fun result ->
+    let nest = result.Framework.nest in
+    let env = make_env ~params (arities nest) in
+    let r = Itf_machine.Memsim.run config env nest in
+    float r.Itf_machine.Memsim.cache.Itf_machine.Cache.misses
 
 let parallel_time ?spawn_overhead ~procs ~params () : objective =
- fun result ->
-  let nest = result.Framework.nest in
-  let env = make_env ~params nest in
-  Itf_machine.Parallel.time ?spawn_overhead ~procs env nest
+  let arities = memo_arities () in
+  fun result ->
+    let nest = result.Framework.nest in
+    let env = make_env ~params (arities nest) in
+    Itf_machine.Parallel.time ?spawn_overhead ~procs env nest

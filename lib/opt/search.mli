@@ -21,6 +21,11 @@ type outcome = {
   result : Itf_core.Framework.result;
   score : float;
   explored : int;  (** number of candidate sequences legality-checked *)
+  checked_templates : int;
+      (** total template stage applications performed by legality checking;
+          grows quadratically with [steps] because every candidate replays
+          its whole prefix (cf. {!Engine.search}, which extends prefixes
+          incrementally) *)
 }
 
 val moves : ?block_sizes:int list -> Nest.t -> depth:int -> Itf_core.Template.t list

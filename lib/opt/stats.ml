@@ -1,0 +1,61 @@
+type t = {
+  nodes_explored : int;
+  duplicates_pruned : int;
+  legality_cache_hits : int;
+  score_cache_hits : int;
+  illegal : int;
+  template_applications : int;
+  template_applications_saved : int;
+  objective_evaluations : int;
+  domains : int;
+  expand_time_s : float;
+  evaluate_time_s : float;
+  merge_time_s : float;
+  total_time_s : float;
+}
+
+let zero =
+  {
+    nodes_explored = 0;
+    duplicates_pruned = 0;
+    legality_cache_hits = 0;
+    score_cache_hits = 0;
+    illegal = 0;
+    template_applications = 0;
+    template_applications_saved = 0;
+    objective_evaluations = 0;
+    domains = 1;
+    expand_time_s = 0.;
+    evaluate_time_s = 0.;
+    merge_time_s = 0.;
+    total_time_s = 0.;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>nodes explored        %d@,\
+     duplicates pruned     %d@,\
+     legality cache hits   %d@,\
+     score cache hits      %d@,\
+     illegal candidates    %d@,\
+     template applications %d (saved %d vs from-root replay)@,\
+     objective evaluations %d@,\
+     domains               %d@,\
+     time: expand %.3fs, evaluate %.3fs, merge %.3fs, total %.3fs@]"
+    s.nodes_explored s.duplicates_pruned s.legality_cache_hits
+    s.score_cache_hits s.illegal s.template_applications
+    s.template_applications_saved s.objective_evaluations s.domains
+    s.expand_time_s s.evaluate_time_s s.merge_time_s s.total_time_s
+
+let to_json s =
+  Printf.sprintf
+    "{\"nodes_explored\": %d, \"duplicates_pruned\": %d, \
+     \"legality_cache_hits\": %d, \"score_cache_hits\": %d, \"illegal\": %d, \
+     \"template_applications\": %d, \"template_applications_saved\": %d, \
+     \"objective_evaluations\": %d, \"domains\": %d, \"expand_time_s\": %.6f, \
+     \"evaluate_time_s\": %.6f, \"merge_time_s\": %.6f, \"total_time_s\": \
+     %.6f}"
+    s.nodes_explored s.duplicates_pruned s.legality_cache_hits
+    s.score_cache_hits s.illegal s.template_applications
+    s.template_applications_saved s.objective_evaluations s.domains
+    s.expand_time_s s.evaluate_time_s s.merge_time_s s.total_time_s

@@ -1,0 +1,35 @@
+(** Instrumentation record of one {!Engine} search.
+
+    Counters distinguish work done from work avoided: [template_applications]
+    counts actual template stage applications (bounds check + code
+    generation + vector mapping), while [template_applications_saved] counts
+    the applications a from-root replay of every candidate (the pre-engine
+    behaviour of [Search.best]) would have performed on top of that. *)
+
+type t = {
+  nodes_explored : int;  (** candidate sequences considered (incl. root) *)
+  duplicates_pruned : int;
+      (** within-step candidates dropped because an earlier candidate of the
+          same step reduced to the same canonical sequence *)
+  legality_cache_hits : int;
+      (** candidates answered from the canonical-sequence cache without any
+          template application *)
+  score_cache_hits : int;
+      (** candidates whose objective score was served from cache *)
+  illegal : int;  (** candidates rejected (bounds, dependence, unscoreable) *)
+  template_applications : int;
+  template_applications_saved : int;
+  objective_evaluations : int;  (** objective simulations actually run *)
+  domains : int;  (** parallelism used (1 = sequential) *)
+  expand_time_s : float;  (** move generation + canonicalization + dedupe *)
+  evaluate_time_s : float;  (** legality + objective evaluation (all domains) *)
+  merge_time_s : float;  (** deterministic sort/beam selection *)
+  total_time_s : float;
+}
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One JSON object (no trailing newline); used by [bench --search]. *)

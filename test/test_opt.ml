@@ -40,7 +40,7 @@ let test_search_finds_interchange_for_locality () =
   let objective = Search.cache_misses ~params:[ ("n", 48) ] () in
   match Search.best ~beam:4 ~steps:1 nest objective with
   | None -> Alcotest.fail "search returned nothing"
-  | Some { sequence; score; explored; result } ->
+  | Some { sequence; score; explored; result; _ } ->
     check_bool "explored several candidates" true (explored > 5);
     let baseline = objective (Framework.apply_exn nest []) in
     check_bool
