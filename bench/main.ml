@@ -67,6 +67,16 @@ let triangular () =
   Itf_lang.Parser.parse_nest
     "do i = 1, n\n  do j = i, n\n    a(i, j) = i + j\n  enddo\nenddo\n"
 
+let lu () =
+  Itf_lang.Parser.parse_nest
+    "do k = 1, n\n\
+    \  do i = k + 1, n\n\
+    \    do j = k + 1, n\n\
+    \      a(i, j) = a(i, j) - a(i, k) * a(k, j)\n\
+    \    enddo\n\
+    \  enddo\n\
+     enddo\n"
+
 let fig1_matrix () = Intmat.mul (Intmat.interchange 2 0 1) (Intmat.skew 2 0 1 1)
 
 let fig7_sequence () =
@@ -659,16 +669,6 @@ let bechamel_suite () =
    BENCH_search.json in the working directory. *)
 let search_bench () =
   section "EXP-SEARCH | search engine: incremental + memoized + multicore";
-  let lu () =
-    Itf_lang.Parser.parse_nest
-      "do k = 1, n\n\
-      \  do i = k + 1, n\n\
-      \    do j = k + 1, n\n\
-      \      a(i, j) = a(i, j) - a(i, k) * a(k, j)\n\
-      \    enddo\n\
-      \  enddo\n\
-       enddo\n"
-  in
   let module Search = Itf_opt.Search in
   let module Engine = Itf_opt.Engine in
   let cases =
@@ -752,9 +752,115 @@ let search_bench () =
   close_out oc;
   Format.printf "wrote BENCH_search.json@."
 
+(* ------------------------------------------------------------------ *)
+(* EXP-SIM: compiled execution backend vs tree-walking interpreter     *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures simulated iterations/sec of full nest executions through both
+   backends — plain runs and cache-simulated (Memsim) runs, the latter
+   being the objective hot path of the search engine. Each case is first
+   checked differentially (identical final array state), and the compiled
+   backend must not be slower than the interpreter. Results go to stdout
+   and BENCH_sim.json. *)
+let sim_bench () =
+  section "EXP-SIM | execution backends: compiled closures vs interpreter";
+  let module Compile = Itf_exec.Compile in
+  let mk_env ~n arrays =
+    let env = Itf_exec.Env.create () in
+    Itf_exec.Env.set_scalar env "n" n;
+    List.iter
+      (fun a ->
+        Itf_exec.Env.declare_array env a [ (1, n); (1, n) ];
+        let d = Itf_exec.Env.array_data env a in
+        Array.iteri (fun k _ -> d.(k) <- (k * 17) mod 23) d)
+      arrays;
+    env
+  in
+  let cases =
+    [
+      ("matmul", matmul (), 32, [ "A"; "B"; "C" ]);
+      ("stencil", stencil (), 96, [ "a" ]);
+      ("lu", lu (), 28, [ "a" ]);
+    ]
+  in
+  (* Wall-clock rate of [f] in calls/sec, doubling reps until the batch
+     takes at least 0.2 s. *)
+  let rate f =
+    let rec go reps =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt >= 0.2 then float reps /. dt else go (2 * reps)
+    in
+    go 1
+  in
+  Format.printf "%-8s %12s %16s %16s %9s %14s %14s %9s@." "case" "iters/run"
+    "interp it/s" "compiled it/s" "speedup" "memsim run/s" "memsimC run/s"
+    "speedup";
+  let jsons =
+    List.map
+      (fun (name, nest, n, arrays) ->
+        (* Differential check on fresh identical environments. *)
+        let env_i = mk_env ~n arrays and env_c = mk_env ~n arrays in
+        Itf_exec.Interp.run env_i nest;
+        Compile.run (Compile.compile env_c nest);
+        if Itf_exec.Env.snapshot env_i <> Itf_exec.Env.snapshot env_c then
+          failwith (name ^ ": backends disagree on final array state");
+        (* Innermost iterations of one execution. *)
+        let iters = ref 0 in
+        let env = mk_env ~n arrays in
+        Itf_exec.Interp.run ~on_iteration:(fun _ -> incr iters) env nest;
+        let iters = float !iters in
+        (* Plain execution throughput (environments are reused across
+           repetitions: the simulated machine is deterministic and timing
+           does not depend on array contents). *)
+        let interp_rps = rate (fun () -> Itf_exec.Interp.run env nest) in
+        let compile_s = 1. /. rate (fun () -> ignore (Compile.compile env nest)) in
+        let compiled = Compile.compile env nest in
+        let compiled_rps = rate (fun () -> Compile.run compiled) in
+        let speedup = compiled_rps /. interp_rps in
+        (* The objective path: cache simulation attached. [run_compiled]
+           re-compiles per call, exactly like one objective evaluation. *)
+        let memsim_rps = rate (fun () -> ignore (Memsim.run cache_cfg env nest)) in
+        let memsimc_rps =
+          rate (fun () -> ignore (Memsim.run_compiled cache_cfg env nest))
+        in
+        let memsim_speedup = memsimc_rps /. memsim_rps in
+        if compiled_rps < interp_rps then
+          failwith (name ^ ": compiled backend slower than the interpreter");
+        Format.printf "%-8s %12.0f %16.0f %16.0f %8.1fx %14.1f %14.1f %8.1fx@."
+          name iters (interp_rps *. iters) (compiled_rps *. iters) speedup
+          memsim_rps memsimc_rps memsim_speedup;
+        Format.printf
+          "%-8s compile: %.0f us/compile (amortized over %.0f iterations/run)@."
+          "" (compile_s *. 1e6) iters;
+        Printf.sprintf
+          "{\"name\": %S, \"n\": %d, \"inner_iterations\": %.0f, \
+           \"interp_runs_per_s\": %.3f, \"compiled_runs_per_s\": %.3f, \
+           \"interp_iters_per_s\": %.0f, \"compiled_iters_per_s\": %.0f, \
+           \"speedup\": %.3f, \"compile_time_us\": %.3f, \
+           \"memsim_runs_per_s\": %.3f, \"memsim_compiled_runs_per_s\": %.3f, \
+           \"memsim_speedup\": %.3f, \"backends_agree\": true}"
+          name n iters interp_rps compiled_rps (interp_rps *. iters)
+          (compiled_rps *. iters) speedup (compile_s *. 1e6) memsim_rps
+          memsimc_rps memsim_speedup)
+      cases
+  in
+  let oc = open_out "BENCH_sim.json" in
+  output_string oc
+    (Printf.sprintf "{\"cases\": [%s]}\n" (String.concat ", " jsons));
+  close_out oc;
+  Format.printf "wrote BENCH_sim.json@."
+
 let () =
   if Array.exists (( = ) "--search") Sys.argv then begin
     search_bench ();
+    exit 0
+  end;
+  if Array.exists (( = ) "--sim") Sys.argv then begin
+    sim_bench ();
     exit 0
   end;
   let quick = Array.exists (( = ) "--quick") Sys.argv in

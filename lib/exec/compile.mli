@@ -1,0 +1,88 @@
+(** Compiled execution backend: slot-resolved closures.
+
+    [compile] makes a one-time pass over a nest and its environment and
+    produces a closure program: every scalar name is resolved to an integer
+    slot in a flat frame, every array access is specialized against the
+    array's resolved layout ({!Env.array_info} — data, strides, bases) with
+    subscript linearization unrolled by arity, and loop bounds, guards and
+    statements become OCaml closures over the frame. Running the compiled
+    program performs no name resolution, no [Hashtbl] lookups, and no list
+    traversals on the per-iteration path.
+
+    The tree-walking {!Interp} remains the semantic oracle: on the same
+    environment, a compiled run produces identical array contents,
+    identical iteration/ordinal order (including [`Reverse] and
+    [`Shuffle]d pardo orders — the permutation is shared), identical trace
+    event sequences, and raises the same exceptions for out-of-bounds
+    subscripts and division by zero ([test/test_compile.ml] asserts all of
+    this differentially). Known deliberate differences: subscript-arity
+    mismatches and undeclared arrays are reported at compile time instead
+    of at the first faulting access, a zero step is reported with a
+    ["Compile: ..."] message, and scalars are {e not} written back to the
+    environment (arrays are shared with it; reads of scalars the
+    environment does not define see 0 where the interpreter raises
+    [Not_found]). *)
+
+open Itf_ir
+
+type t
+(** A nest compiled against a fixed environment. Reusable: each {!run}
+    re-reads the environment's scalar parameters (see {!sync}). *)
+
+type pardo_order = Interp.pardo_order
+
+type addr = {
+  base_of : string -> int;
+      (** line-aligned base address of an array, queried once per access
+          site at compile time *)
+  elem_bytes : int;
+  touch : int -> unit;  (** called with [base + flat * elem_bytes] *)
+}
+(** Fused memory-model hook: with [?addr], every compiled load/store calls
+    [touch] directly with the element's simulated byte address — the cache
+    simulation runs inside the access closure instead of an [option]
+    tracer doing a name lookup per access (cf. {!Itf_machine.Memsim}). *)
+
+val compile : ?trace:(Env.access -> unit) -> ?addr:addr -> Env.t -> Nest.t -> t
+(** Compile [nest] against [env]. All arrays the nest mentions must already
+    be declared ([Invalid_argument] otherwise); functions may be registered
+    later (unresolved calls fall back to the environment at run time).
+    [?trace] compiles an {!Env.access} callback into every load/store —
+    same event order as the interpreter's tracer. *)
+
+val run :
+  ?pardo_order:pardo_order ->
+  ?on_iteration:(int array -> unit) ->
+  ?on_ordinals:(int array -> unit) ->
+  t ->
+  unit
+(** Execute the compiled nest; same contract as {!Interp.run}. Scalar
+    parameters are re-read from the environment first, so the same compiled
+    program can be rerun after [Env.set_scalar]. The iteration hooks cost
+    nothing when absent (the plain body closure runs unwrapped). *)
+
+val iteration_order : ?pardo_order:pardo_order -> t -> int array list
+(** As {!Interp.iteration_order}, on the compiled program. *)
+
+(** {1 Frame access for machine models}
+
+    {!Itf_machine.Parallel} walks loop headers without executing bodies;
+    these entry points evaluate compiled bounds against the current frame
+    directly. *)
+
+val sync : t -> unit
+(** Load the environment's scalars into the frame (slots without a value in
+    the environment are zeroed). [run] does this automatically. *)
+
+val depth : t -> int
+
+val loop_kind : t -> int -> Nest.kind
+
+val loop_bounds : t -> int -> int * int * int
+(** [loop_bounds t level] evaluates level [level]'s compiled bounds against
+    the current frame: [(lo, step, trip_count)].
+    @raise Invalid_argument on a zero step. *)
+
+val set_loop_var : t -> int -> int -> unit
+(** [set_loop_var t level x] writes [x] into the frame slot of level
+    [level]'s loop variable (visible to inner [loop_bounds]). *)

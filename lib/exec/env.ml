@@ -43,6 +43,8 @@ let declare_array t name bounds =
 
 let declare_function t name f = Hashtbl.replace t.funcs name f
 
+let find_function t name = Hashtbl.find_opt t.funcs name
+
 let set_scalar t v x = Hashtbl.replace t.scalars v x
 
 let get_scalar t v =
@@ -50,41 +52,55 @@ let get_scalar t v =
   | Some x -> x
   | None -> raise Not_found
 
+let find_scalar t v = Hashtbl.find_opt t.scalars v
+
 let info t name =
   match Hashtbl.find_opt t.arrays name with
   | Some i -> i
   | None -> invalid_arg ("Env: undeclared array " ^ name)
 
-let flat_index t name idx =
-  let i = info t name in
+let array_info = info
+
+let oob name k x lo hi =
+  invalid_arg
+    (Printf.sprintf "Env: %s subscript %d = %d out of [%d, %d]" name k x lo hi)
+
+let arity_error name expect got =
+  invalid_arg
+    (Printf.sprintf "Env: %s expects %d subscripts, got %d" name expect got)
+
+(* Single left-to-right walk: fuses the arity check (previously a separate
+   [List.length] pass) with the per-dimension bounds checks and the flat
+   offset accumulation. *)
+let flat_of (i : array_info) name idx =
   let n = Array.length i.los in
-  if List.length idx <> n then
-    invalid_arg
-      (Printf.sprintf "Env: %s expects %d subscripts, got %d" name n
-         (List.length idx));
-  let flat = ref 0 in
-  List.iteri
-    (fun k x ->
-      if x < i.los.(k) || x > i.his.(k) then
-        invalid_arg
-          (Printf.sprintf "Env: %s subscript %d = %d out of [%d, %d]" name k x
-             i.los.(k) i.his.(k));
-      flat := !flat + ((x - i.los.(k)) * i.strides.(k)))
-    idx;
-  !flat
+  let rec go k flat = function
+    | [] -> if k = n then flat else arity_error name n k
+    | x :: rest ->
+      if k = n then arity_error name n (k + 1 + List.length rest)
+      else begin
+        if x < i.los.(k) || x > i.his.(k) then oob name k x i.los.(k) i.his.(k);
+        go (k + 1) (flat + ((x - i.los.(k)) * i.strides.(k))) rest
+      end
+  in
+  go 0 0 idx
+
+let flat_index t name idx = flat_of (info t name) name idx
 
 let trace t array flat kind =
   match t.tracer with None -> () | Some f -> f { array; flat; kind }
 
 let read t name idx =
-  let flat = flat_index t name idx in
+  let i = info t name in
+  let flat = flat_of i name idx in
   trace t name flat Read;
-  (info t name).data.(flat)
+  i.data.(flat)
 
 let write t name idx v =
-  let flat = flat_index t name idx in
+  let i = info t name in
+  let flat = flat_of i name idx in
   trace t name flat Write;
-  (info t name).data.(flat) <- v
+  i.data.(flat) <- v
 
 let call t name args =
   match (name, args) with
@@ -103,4 +119,4 @@ let set_tracer t f = t.tracer <- f
 
 let snapshot t =
   Hashtbl.fold (fun name i acc -> (name, Array.copy i.data) :: acc) t.arrays []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -14,6 +14,16 @@ type access = { array : string; flat : int; kind : access_kind }
 (** [flat] is the row-major offset of the touched element — the "address"
     used by the cache simulator. *)
 
+type array_info = private {
+  los : int array;
+  his : int array;
+  strides : int array;  (** row-major; the last stride is always 1 *)
+  data : int array;
+}
+(** The resolved layout of one declared array — exposed (read-only) so the
+    compiled backend ({!Compile}) can specialize accesses once instead of
+    re-resolving the name on every element touch. *)
+
 val create : unit -> t
 
 val declare_array : t -> string -> (int * int) list -> unit
@@ -22,10 +32,13 @@ val declare_array : t -> string -> (int * int) list -> unit
     @raise Invalid_argument if already declared or a bound is empty. *)
 
 val declare_function : t -> string -> (int list -> int) -> unit
+val find_function : t -> string -> (int list -> int) option
 
 val set_scalar : t -> string -> int -> unit
 val get_scalar : t -> string -> int
 (** @raise Not_found if unset. *)
+
+val find_scalar : t -> string -> int option
 
 val read : t -> string -> int list -> int
 val write : t -> string -> int list -> int -> unit
@@ -35,6 +48,9 @@ val call : t -> string -> int list -> int
 (** Applies a registered function; ["abs"] and ["sgn"] are builtins. *)
 
 val flat_index : t -> string -> int list -> int
+
+val array_info : t -> string -> array_info
+(** @raise Invalid_argument on undeclared arrays. *)
 
 val array_data : t -> string -> int array
 (** The raw backing store (row-major), e.g. to compare results. *)

@@ -9,31 +9,58 @@ let fdiv a b =
 
 let fmod a b = a - (b * fdiv a b)
 
+(* Evaluation order is part of the observable semantics (the tracer sees
+   array touches as they happen, and the cache simulator is order
+   sensitive), so operands are forced left to right explicitly rather than
+   left to OCaml's unspecified application order. The compiled backend
+   ({!Compile}) mirrors this order exactly. *)
 let rec eval env (e : Expr.t) =
   match e with
   | Int n -> n
   | Var v -> Env.get_scalar env v
   | Neg a -> -eval env a
-  | Add (a, b) -> eval env a + eval env b
-  | Sub (a, b) -> eval env a - eval env b
-  | Mul (a, b) -> eval env a * eval env b
-  | Div (a, b) -> fdiv (eval env a) (eval env b)
-  | Mod (a, b) -> fmod (eval env a) (eval env b)
-  | Min (a, b) -> min (eval env a) (eval env b)
-  | Max (a, b) -> max (eval env a) (eval env b)
-  | Load { array; index } -> Env.read env array (List.map (eval env) index)
-  | Call (f, args) -> Env.call env f (List.map (eval env) args)
+  | Add (a, b) ->
+    let x = eval env a in
+    x + eval env b
+  | Sub (a, b) ->
+    let x = eval env a in
+    x - eval env b
+  | Mul (a, b) ->
+    let x = eval env a in
+    x * eval env b
+  | Div (a, b) ->
+    let x = eval env a in
+    fdiv x (eval env b)
+  | Mod (a, b) ->
+    let x = eval env a in
+    fmod x (eval env b)
+  | Min (a, b) ->
+    let x = eval env a in
+    min x (eval env b)
+  | Max (a, b) ->
+    let x = eval env a in
+    max x (eval env b)
+  | Load { array; index } -> Env.read env array (eval_list env index)
+  | Call (f, args) -> Env.call env f (eval_list env args)
+
+(* List.map with a guaranteed left-to-right evaluation order. *)
+and eval_list env = function
+  | [] -> []
+  | e :: rest ->
+    let x = eval env e in
+    x :: eval_list env rest
 
 let rec run_stmt env (s : Stmt.t) =
   match s with
   | Stmt.Store ({ array; index }, rhs) ->
     (* Subscripts first, then the value: matches source order reading. *)
-    let idx = List.map (eval env) index in
+    let idx = eval_list env index in
     Env.write env array idx (eval env rhs)
   | Stmt.Set (v, rhs) -> Env.set_scalar env v (eval env rhs)
   | Stmt.Guard { lhs; rel; rhs; body } ->
-    if Stmt.holds rel (eval env lhs) (eval env rhs) then
-      List.iter (run_stmt env) body
+    let a = eval env lhs in
+    let b = eval env rhs in
+    if Stmt.holds rel a b then List.iter (run_stmt env) body
 
 (* Deterministic Fisher-Yates from a seed (independent of global Random
    state so runs are reproducible). *)
@@ -46,12 +73,15 @@ let shuffle seed arr =
     arr.(j) <- tmp
   done
 
-let iteration_values env (l : Nest.loop) =
+let loop_header env (l : Nest.loop) =
   let lo = eval env l.Nest.lo in
   let hi = eval env l.Nest.hi in
   let step = eval env l.Nest.step in
   if step = 0 then invalid_arg ("Interp: zero step in loop " ^ l.Nest.var);
-  let count = max 0 (fdiv (hi - lo) step + 1) in
+  (lo, step, max 0 (fdiv (hi - lo) step + 1))
+
+let iteration_values env (l : Nest.loop) =
+  let lo, step, count = loop_header env l in
   Array.init count (fun k -> lo + (k * step))
 
 let run ?(pardo_order = `Forward) ?on_iteration ?on_ordinals ?after_inits env
@@ -71,28 +101,39 @@ let run ?(pardo_order = `Forward) ?on_iteration ?on_ordinals ?after_inits env
   in
   let rec go level = function
     | [] -> body ()
-    | (l : Nest.loop) :: rest ->
-      (* Pair each value with its logical position in the loop's sequence,
-         so ordinals are stable under pardo reordering. *)
-      let values =
-        Array.mapi (fun k x -> (x, k)) (iteration_values env l)
-      in
-      (match (l.Nest.kind, pardo_order) with
-      | Nest.Do, _ | Nest.Pardo, `Forward -> ()
-      | Nest.Pardo, `Reverse ->
-        let n = Array.length values in
-        for k = 0 to (n / 2) - 1 do
-          let tmp = values.(k) in
-          values.(k) <- values.(n - 1 - k);
-          values.(n - 1 - k) <- tmp
+    | (l : Nest.loop) :: rest -> (
+      match (l.Nest.kind, pardo_order) with
+      | Nest.Do, _ | Nest.Pardo, `Forward ->
+        (* Fast path: ordinals equal positions, so no per-entry
+           (value, ordinal) pairing array is materialized. *)
+        let lo, step, count = loop_header env l in
+        for k = 0 to count - 1 do
+          Env.set_scalar env l.Nest.var (lo + (k * step));
+          ordinals.(level) <- k;
+          go (level + 1) rest
         done
-      | Nest.Pardo, `Shuffle seed -> shuffle seed values);
-      Array.iter
-        (fun (x, ord) ->
-          Env.set_scalar env l.Nest.var x;
-          ordinals.(level) <- ord;
-          go (level + 1) rest)
-        values
+      | Nest.Pardo, (`Reverse | `Shuffle _) ->
+        (* Pair each value with its logical position in the loop's sequence,
+           so ordinals are stable under pardo reordering. *)
+        let values =
+          Array.mapi (fun k x -> (x, k)) (iteration_values env l)
+        in
+        (match pardo_order with
+        | `Forward -> ()
+        | `Reverse ->
+          let n = Array.length values in
+          for k = 0 to (n / 2) - 1 do
+            let tmp = values.(k) in
+            values.(k) <- values.(n - 1 - k);
+            values.(n - 1 - k) <- tmp
+          done
+        | `Shuffle seed -> shuffle seed values);
+        Array.iter
+          (fun (x, ord) ->
+            Env.set_scalar env l.Nest.var x;
+            ordinals.(level) <- ord;
+            go (level + 1) rest)
+          values)
   in
   go 0 nest.Nest.loops
 

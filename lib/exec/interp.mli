@@ -31,6 +31,12 @@ val iteration_values : Env.t -> Nest.loop -> int array
     environment (outer loop variables and parameters must be set).
     @raise Invalid_argument on a zero step. *)
 
+val shuffle : int -> 'a array -> unit
+(** The deterministic in-place Fisher-Yates permutation behind
+    [`Shuffle seed] — exposed so {!Compile} reproduces the exact same
+    pardo orders (the permutation depends only on the seed and the array
+    length). *)
+
 val run : ?pardo_order:pardo_order -> ?on_iteration:(int array -> unit) ->
   ?on_ordinals:(int array -> unit) -> ?after_inits:(unit -> unit) ->
   Env.t -> Nest.t -> unit

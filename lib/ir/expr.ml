@@ -26,6 +26,83 @@ let fdiv a b =
 
 let fmod a b = a - (b * fdiv a b)
 
+(* Structural equality and ordering. Hand-rolled rather than the
+   polymorphic primitives so hot comparisons short-circuit on physical
+   equality (shared subtrees are common after substitution) and never pay
+   the generic tag-dispatch walk. The order is identical to the one
+   [Stdlib.compare] produced: constructors by declaration order, fields
+   left to right. *)
+let rec equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Var x, Var y -> String.equal x y
+  | Neg x, Neg y -> equal x y
+  | Add (a1, b1), Add (a2, b2)
+  | Sub (a1, b1), Sub (a2, b2)
+  | Mul (a1, b1), Mul (a2, b2)
+  | Div (a1, b1), Div (a2, b2)
+  | Mod (a1, b1), Mod (a2, b2)
+  | Min (a1, b1), Min (a2, b2)
+  | Max (a1, b1), Max (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Load a1, Load a2 -> String.equal a1.array a2.array && equal_list a1.index a2.index
+  | Call (f, xs), Call (g, ys) -> String.equal f g && equal_list xs ys
+  | _ -> false
+
+and equal_list xs ys =
+  match (xs, ys) with
+  | [], [] -> true
+  | x :: xs, y :: ys -> equal x y && equal_list xs ys
+  | _ -> false
+
+let tag = function
+  | Int _ -> 0
+  | Var _ -> 1
+  | Neg _ -> 2
+  | Add _ -> 3
+  | Sub _ -> 4
+  | Mul _ -> 5
+  | Div _ -> 6
+  | Mod _ -> 7
+  | Min _ -> 8
+  | Max _ -> 9
+  | Load _ -> 10
+  | Call _ -> 11
+
+let rec compare a b =
+  if a == b then 0
+  else
+    match (a, b) with
+    | Int x, Int y -> Int.compare x y
+    | Var x, Var y -> String.compare x y
+    | Neg x, Neg y -> compare x y
+    | Add (a1, b1), Add (a2, b2)
+    | Sub (a1, b1), Sub (a2, b2)
+    | Mul (a1, b1), Mul (a2, b2)
+    | Div (a1, b1), Div (a2, b2)
+    | Mod (a1, b1), Mod (a2, b2)
+    | Min (a1, b1), Min (a2, b2)
+    | Max (a1, b1), Max (a2, b2) ->
+      let c = compare a1 a2 in
+      if c <> 0 then c else compare b1 b2
+    | Load a1, Load a2 ->
+      let c = String.compare a1.array a2.array in
+      if c <> 0 then c else compare_list a1.index a2.index
+    | Call (f, xs), Call (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c else compare_list xs ys
+    | _ -> Int.compare (tag a) (tag b)
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs ys
+
 let rec neg = function
   | Int n -> Int (-n)
   | Neg e -> e
@@ -53,8 +130,8 @@ and sub a b =
   | Sub (e, Int x), Int y -> sub e (Int (x + y))
   | e, Int n when n < 0 -> add e (Int (-n))
   | a, Neg b -> add a b
-  | a, Sub (b, c) when a = b -> c
-  | a, b when a = b -> Int 0
+  | a, Sub (b, c) when equal a b -> c
+  | a, b when equal a b -> Int 0
   | _ -> Sub (a, b)
 
 let mul a b =
@@ -80,13 +157,13 @@ let mod_ a b =
 let min_ a b =
   match (a, b) with
   | Int x, Int y -> Int (Stdlib.min x y)
-  | a, b when a = b -> a
+  | a, b when equal a b -> a
   | _ -> Min (a, b)
 
 let max_ a b =
   match (a, b) with
   | Int x, Int y -> Int (Stdlib.max x y)
-  | a, b when a = b -> a
+  | a, b when equal a b -> a
   | _ -> Max (a, b)
 
 let min_list = function
@@ -104,9 +181,6 @@ let ceil_div e c =
 let floor_div e c =
   if c <= 0 then invalid_arg "Expr.floor_div: non-positive divisor";
   div e (Int c)
-
-let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
 
 (* Structural hash, compatible with [equal]. A hand-rolled fold (rather
    than [Hashtbl.hash]) so that deep expressions — skewed bounds grow with

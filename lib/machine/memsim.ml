@@ -2,34 +2,77 @@ open Itf_ir
 
 type result = { cache : Cache.stats; cycles : int }
 
-let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
-  let cache = Cache.create config in
-  (* Assign line-aligned base addresses to every array of the nest. *)
+(* Assign line-aligned base addresses to every array of the nest, in
+   sorted name order (both backends must lay arrays out identically for
+   their stats to be comparable). *)
+let layout ~elem_bytes config env nest =
   let align n a = (n + a - 1) / a * a in
   let bases = Hashtbl.create 8 in
   let next = ref 0 in
-  let base_of array =
-    match Hashtbl.find_opt bases array with
-    | Some b -> b
-    | None ->
-      let b = !next in
-      Hashtbl.add bases array b;
-      next :=
-        align (b + (Itf_exec.Env.array_size env array * elem_bytes)) config.Cache.line_bytes;
-      b
-  in
   List.iter
-    (fun a -> ignore (base_of a))
-    (List.sort_uniq compare (Nest.arrays_read nest @ Nest.arrays_written nest));
-  Itf_exec.Env.set_tracer env
-    (Some
-       (fun { Itf_exec.Env.array; flat; _ } ->
-         ignore (Cache.access cache (base_of array + (flat * elem_bytes)))));
-  Fun.protect
-    ~finally:(fun () -> Itf_exec.Env.set_tracer env None)
-    (fun () -> Itf_exec.Interp.run env nest);
+    (fun array ->
+      if not (Hashtbl.mem bases array) then begin
+        let b = !next in
+        Hashtbl.add bases array b;
+        next :=
+          align
+            (b + (Itf_exec.Env.array_size env array * elem_bytes))
+            config.Cache.line_bytes
+      end)
+    (List.sort_uniq String.compare
+       (Nest.arrays_read nest @ Nest.arrays_written nest));
+  bases
+
+let base_of bases array =
+  match Hashtbl.find_opt bases array with
+  | Some b -> b
+  | None -> invalid_arg ("Memsim: array not in layout: " ^ array)
+
+let finish ~hit_cost ~miss_penalty cache =
   let stats = Cache.stats cache in
   {
     cache = stats;
     cycles = (stats.Cache.accesses * hit_cost) + (stats.Cache.misses * miss_penalty);
   }
+
+let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
+  let cache = Cache.create config in
+  let bases = layout ~elem_bytes config env nest in
+  (* The tracer fires per element access; memoize the last array's base so
+     consecutive touches of the same array skip the hashtable. *)
+  let last_array = ref "" in
+  let last_base = ref 0 in
+  Itf_exec.Env.set_tracer env
+    (Some
+       (fun { Itf_exec.Env.array; flat; _ } ->
+         let base =
+           if array == !last_array then !last_base
+           else begin
+             let b = base_of bases array in
+             last_array := array;
+             last_base := b;
+             b
+           end
+         in
+         ignore (Cache.access cache (base + (flat * elem_bytes)))));
+  Fun.protect
+    ~finally:(fun () -> Itf_exec.Env.set_tracer env None)
+    (fun () -> Itf_exec.Interp.run env nest);
+  finish ~hit_cost ~miss_penalty cache
+
+let run_compiled ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config
+    env nest =
+  let cache = Cache.create config in
+  let bases = layout ~elem_bytes config env nest in
+  let compiled =
+    Itf_exec.Compile.compile
+      ~addr:
+        {
+          Itf_exec.Compile.base_of = base_of bases;
+          elem_bytes;
+          touch = (fun a -> ignore (Cache.access cache a));
+        }
+      env nest
+  in
+  Itf_exec.Compile.run compiled;
+  finish ~hit_cost ~miss_penalty cache

@@ -21,5 +21,21 @@ val run :
   Nest.t ->
   result
 (** [run config env nest] executes [nest] in [env] (mutating its arrays)
-    while simulating the cache. Defaults: 8-byte elements, 1-cycle hits,
-    30-cycle miss penalty. *)
+    while simulating the cache, using the tree-walking interpreter and the
+    environment tracer. Defaults: 8-byte elements, 1-cycle hits, 30-cycle
+    miss penalty. *)
+
+val run_compiled :
+  ?elem_bytes:int ->
+  ?hit_cost:int ->
+  ?miss_penalty:int ->
+  Cache.config ->
+  Itf_exec.Env.t ->
+  Nest.t ->
+  result
+(** As {!run}, but through {!Itf_exec.Compile}: the cache access is a
+    direct call inside each compiled load/store closure with the array's
+    base address resolved at compile time, instead of a tracer invocation
+    doing a name lookup per access. Identical array layout, access
+    sequence, stats, and final array state as {!run} — just faster (the
+    objective hot path of {!Itf_opt.Engine.search}). *)

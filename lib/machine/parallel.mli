@@ -22,6 +22,15 @@ val time :
     environment must define the parameters they mention.
     @raise Invalid_argument if [procs < 1]. *)
 
+val time_compiled :
+  ?spawn_overhead:float -> procs:int -> Itf_exec.Env.t -> Nest.t -> float
+(** As {!time}, but loop bounds are evaluated through
+    {!Itf_exec.Compile}'s slot frame instead of the interpreter — the
+    float accumulation order is identical, so the result equals {!time}
+    bit for bit. Unlike {!time}, the nest's arrays must be declared in the
+    environment (compilation resolves every access site even though bodies
+    are not executed). *)
+
 val speedup :
   ?spawn_overhead:float -> procs:int -> Itf_exec.Env.t -> Nest.t -> float
 (** [time] at 1 processor divided by [time] at [procs]. *)

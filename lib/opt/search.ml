@@ -201,18 +201,27 @@ let memo_arities () =
       Atomic.set cell (Some arities);
       arities
 
+type backend = [ `Interpreted | `Compiled ]
+
 let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 })
-    ~params () : objective =
+    ?(backend = `Compiled) ~params () : objective =
   let arities = memo_arities () in
   fun result ->
     let nest = result.Framework.nest in
     let env = make_env ~params (arities nest) in
-    let r = Itf_machine.Memsim.run config env nest in
+    let r =
+      match backend with
+      | `Compiled -> Itf_machine.Memsim.run_compiled config env nest
+      | `Interpreted -> Itf_machine.Memsim.run config env nest
+    in
     float r.Itf_machine.Memsim.cache.Itf_machine.Cache.misses
 
-let parallel_time ?spawn_overhead ~procs ~params () : objective =
+let parallel_time ?spawn_overhead ?(backend = `Compiled) ~procs ~params () :
+    objective =
   let arities = memo_arities () in
   fun result ->
     let nest = result.Framework.nest in
     let env = make_env ~params (arities nest) in
-    Itf_machine.Parallel.time ?spawn_overhead ~procs env nest
+    match backend with
+    | `Compiled -> Itf_machine.Parallel.time_compiled ?spawn_overhead ~procs env nest
+    | `Interpreted -> Itf_machine.Parallel.time ?spawn_overhead ~procs env nest

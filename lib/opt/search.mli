@@ -49,8 +49,16 @@ val best :
 
 (** {1 Ready-made objectives} *)
 
+type backend = [ `Interpreted | `Compiled ]
+(** Execution backend used to simulate candidate nests. [`Compiled]
+    (the default) runs {!Itf_exec.Compile}'s slot-resolved closures;
+    [`Interpreted] runs the tree-walking {!Itf_exec.Interp}. Both produce
+    identical scores — the switch exists for differential testing and as
+    an escape hatch. *)
+
 val cache_misses :
-  ?config:Itf_machine.Cache.config -> params:(string * int) list ->
+  ?config:Itf_machine.Cache.config -> ?backend:backend ->
+  params:(string * int) list ->
   unit -> objective
 (** Simulated cache misses of one full execution. Arrays are freshly
     allocated per evaluation from the nest's own access pattern with
@@ -58,6 +66,7 @@ val cache_misses :
     identical data. *)
 
 val parallel_time :
-  ?spawn_overhead:float -> procs:int -> params:(string * int) list ->
+  ?spawn_overhead:float -> ?backend:backend -> procs:int ->
+  params:(string * int) list ->
   unit -> objective
 (** Simulated parallel execution time on [procs] processors. *)
