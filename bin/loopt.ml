@@ -502,6 +502,137 @@ let trace_cmd =
        ~doc:"Print the iteration-order grid of a (transformed) 1- or 2-deep nest.")
     Term.(const run $ nest_arg $ script $ params_arg)
 
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let run seed budget backends corpus out no_shrink memsim verbose =
+    let backends =
+      match backends with
+      | [] -> [ `Interp; `Compiled ]
+      | names -> (
+        match
+          List.map
+            (fun n -> (n, Itf_check.Oracle.backend_of_name n))
+            (List.concat_map (String.split_on_char ',') names)
+        with
+        | pairs when List.for_all (fun (_, b) -> b <> None) pairs ->
+          List.filter_map snd pairs
+        | pairs ->
+          let bad = List.find (fun (_, b) -> b = None) pairs in
+          Printf.eprintf "error: unknown backend %S (interp|compiled|c)\n"
+            (fst bad);
+          exit 2)
+    in
+    if List.mem `C backends && not (Itf_check.Oracle.cc_available ()) then
+      Printf.eprintf "warning: no C compiler on PATH; skipping the C leg\n";
+    (* replay the corpus first: past failures must stay fixed *)
+    let corpus_failures = ref 0 in
+    List.iter
+      (fun dir ->
+        let files =
+          Sys.readdir dir |> Array.to_list
+          |> List.filter (fun f -> Filename.check_suffix f ".repro")
+          |> List.sort compare
+        in
+        List.iter
+          (fun f ->
+            let path = Filename.concat dir f in
+            match Itf_check.Harness.replay ~backends (Itf_check.Repro.load path) with
+            | Itf_check.Oracle.Diverged ds ->
+              incr corpus_failures;
+              Printf.printf "corpus FAIL %s\n" path;
+              Format.printf "%a" Itf_check.Harness.pp_divergences ds
+            | _ -> if verbose then Printf.printf "corpus ok   %s\n" path
+            | exception Itf_check.Repro.Error m ->
+              incr corpus_failures;
+              Printf.printf "corpus BAD  %s\n" m)
+          files)
+      corpus;
+    let on_case =
+      if verbose then
+        Some
+          (fun ~index ~outcome:_ ->
+            if (index + 1) mod 500 = 0 then
+              Printf.eprintf "... %d cases\n%!" (index + 1))
+      else None
+    in
+    let report =
+      Itf_check.Harness.fuzz ~backends ~check_memsim:memsim
+        ~shrink:(not no_shrink) ?on_case ~seed ~budget ()
+    in
+    Format.printf "%a" Itf_check.Harness.pp_report report;
+    List.iter
+      (fun (f : Itf_check.Harness.failure) ->
+        Format.printf "@.FAILURE (case %d, seed %d):@.%a" f.index seed
+          Itf_check.Harness.pp_divergences f.divergences;
+        let note =
+          Format.asprintf "seed %d case %d@.%a" seed f.index
+            Itf_check.Harness.pp_divergences f.divergences
+        in
+        match out with
+        | Some dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let path = Filename.concat dir (Printf.sprintf "seed%d-case%d.repro" seed f.index) in
+          Itf_check.Repro.save ~note path f.shrunk;
+          Printf.printf "reproducer written to %s\n" path
+        | None ->
+          print_string (Itf_check.Repro.to_string ~note f.shrunk))
+      report.Itf_check.Harness.failures;
+    if report.Itf_check.Harness.failures = [] && !corpus_failures = 0 then 0
+    else 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Random seed (the run is deterministic).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 1000
+      & info [ "budget" ] ~docv:"K" ~doc:"Number of generated cases.")
+  in
+  let backends =
+    Arg.(
+      value & opt_all string []
+      & info [ "backends" ] ~docv:"B1,B2"
+          ~doc:
+            "Comma-separated backends to compare: interp, compiled, c. \
+             Default: interp,compiled. The c leg needs a C compiler on PATH.")
+  in
+  let corpus =
+    Arg.(
+      value & opt_all dir []
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Replay every *.repro in DIR before fuzzing (repeatable).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Write shrunken reproducers for failures into DIR.")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures unshrunk.")
+  in
+  let memsim =
+    Arg.(
+      value & flag
+      & info [ "memsim" ]
+          ~doc:"Also cross-check the two cache-simulation execution paths.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.") in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential oracle harness: fuzz random nests and transformation \
+          sequences across execution backends, confirm rejections, shrink \
+          and report any divergence.")
+    Term.(
+      const run $ seed $ budget $ backends $ corpus $ out $ no_shrink $ memsim
+      $ verbose)
+
 let () =
   let doc = "iteration-reordering loop transformation framework (PLDI'92 reproduction)" in
   exit
@@ -509,5 +640,5 @@ let () =
        (Cmd.group (Cmd.info "loopt" ~doc)
           [
             show_cmd; apply_cmd; optimize_cmd; run_cmd; emit_cmd;
-            distribute_cmd; trace_cmd;
+            distribute_cmd; trace_cmd; fuzz_cmd;
           ]))

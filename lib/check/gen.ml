@@ -1,0 +1,254 @@
+open Itf_ir
+module T = Itf_core.Template
+module Intmat = Itf_mat.Intmat
+
+type case = {
+  nest : Nest.t;
+  seq : Itf_core.Sequence.t;
+  params : (string * int) list;
+}
+
+let choice st arr = arr.(Random.State.int st (Array.length arr))
+
+(* Magnitude policy: loop values stay within roughly [-25, 25] and
+   subscripts (sums of at most two variables plus a small offset, possibly
+   one doubled variable) within [-60, 60], so every access fits the
+   [array_lo, array_hi] declaration below and the oracle never has to
+   reason about intended out-of-bounds. Store values are reduced mod a
+   fixed prime so iterated updates cannot overflow differently in OCaml's
+   63-bit ints and C's 64-bit longs. *)
+let array_lo = -64
+let array_hi = 64
+let value_mod = 9973
+
+(* ------------------------------------------------------------------ *)
+(* Nests                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A loop with an exact symbolic trip count: pick a start, step and trip,
+   then derive [hi] as the exact last value so affine/min/max decorations
+   never change the intended iteration count by accident. *)
+let gen_loop st ~uses_n idx outer_vars =
+  let var = List.nth [ "i"; "j"; "k" ] idx in
+  let step = choice st [| 1; 1; 1; 1; 2; 3; -1; -2 |] in
+  (* trip 0 (an empty loop) is rare but deliberate: degenerate bands are
+     exactly where code generators crash. *)
+  let trip =
+    match Random.State.int st 12 with 0 -> 0 | n -> 1 + (n mod 6)
+  in
+  let start_val = Random.State.int st 10 - 4 in
+  let start =
+    match Random.State.int st 8 with
+    | 0 | 1 when outer_vars <> [] ->
+      (* affine in an outer variable: triangular-style bounds *)
+      Expr.add
+        (Expr.var (choice st (Array.of_list outer_vars)))
+        (Expr.int (Random.State.int st 5 - 2))
+    | 2 when uses_n ->
+      (* involves the symbolic parameter n *)
+      Expr.sub (Expr.var "n") (Expr.int (Random.State.int st 4))
+    | _ -> Expr.int start_val
+  in
+  let last = Expr.add start (Expr.int (step * (trip - 1))) in
+  let lo, hi = (start, last) in
+  (* Occasionally clamp the far bound with min/max against a constant the
+     clamp rarely binds on — exercising the structured-bound rules without
+     collapsing the loop. *)
+  let hi =
+    match Random.State.int st 6 with
+    | 0 ->
+      if step > 0 then Expr.min_ hi (Expr.int 30)
+      else Expr.max_ hi (Expr.int (-30))
+    | _ -> hi
+  in
+  Nest.loop ~step:(Expr.int step) var lo hi
+
+let gen_subscript st vars =
+  let v () = Expr.var (choice st (Array.of_list vars)) in
+  let base =
+    match Random.State.int st 8 with
+    | 0 when List.length vars >= 2 -> Expr.add (v ()) (v ())
+    | 1 -> Expr.mul (Expr.int 2) (v ())
+    | 2 -> Expr.sub (v ()) (v ())
+    | _ -> v ()
+  in
+  Expr.add base (Expr.int (Random.State.int st 7 - 3))
+
+(* Arrays with fixed arities so interp/compiled/C all agree on layout. *)
+let arrays = [| ("a", 2); ("b", 1); ("c", 2) |]
+
+let gen_access st vars : Expr.access =
+  let array, arity = choice st arrays in
+  { array; index = List.init arity (fun _ -> gen_subscript st vars) }
+
+let gen_load st vars : Expr.t = Expr.Load (gen_access st vars)
+
+let gen_rhs st vars =
+  let atom () =
+    match Random.State.int st 6 with
+    | 0 -> Expr.var (choice st (Array.of_list vars))
+    | 1 -> Expr.int (Random.State.int st 9 - 4)
+    | _ -> gen_load st vars
+  in
+  let e =
+    match Random.State.int st 4 with
+    | 0 -> Expr.add (atom ()) (Expr.mul (atom ()) (Expr.int 3))
+    | 1 -> Expr.mul (atom ()) (atom ())
+    | 2 -> Expr.sub (atom ()) (atom ())
+    | _ -> Expr.add (atom ()) (atom ())
+  in
+  (* Bound the stored value (see the magnitude policy above). *)
+  Expr.mod_ e (Expr.int value_mod)
+
+let gen_store st vars = Stmt.Store (gen_access st vars, gen_rhs st vars)
+
+let gen_stmt st vars =
+  match Random.State.int st 10 with
+  | 0 | 1 ->
+    (* guarded stores: predicates over the loop variables *)
+    let lhs =
+      match Random.State.int st 2 with
+      | 0 ->
+        Expr.mod_
+          (Expr.add (Expr.var (choice st (Array.of_list vars))) (Expr.int 7))
+          (Expr.int 2)
+      | _ -> Expr.var (choice st (Array.of_list vars))
+    in
+    let rel = choice st [| Stmt.Lt; Stmt.Le; Stmt.Gt; Stmt.Ge; Stmt.Eq; Stmt.Ne |] in
+    Stmt.Guard
+      {
+        lhs;
+        rel;
+        rhs = Expr.int (Random.State.int st 5 - 1);
+        body = [ gen_store st vars ];
+      }
+  | _ -> gen_store st vars
+
+let gen_body st vars =
+  match Random.State.int st 5 with
+  | 0 ->
+    (* a value carried through a scalar temporary: serializes heavily *)
+    [
+      Stmt.Set ("x", gen_load st vars);
+      Stmt.Store
+        (gen_access st vars, Expr.add (Expr.var "x") (gen_rhs st vars));
+    ]
+  | 1 -> [ gen_stmt st vars; gen_stmt st vars ]
+  | 2 -> [ gen_stmt st vars; gen_stmt st vars; gen_stmt st vars ]
+  | _ -> [ gen_stmt st vars ]
+
+let gen_nest st ~uses_n =
+  let depth = 1 + Random.State.int st 3 in
+  let vars = List.init depth (fun k -> List.nth [ "i"; "j"; "k" ] k) in
+  let loops =
+    List.init depth (fun idx ->
+        gen_loop st ~uses_n idx (List.filteri (fun k _ -> k < idx) vars))
+  in
+  let nest = Nest.make loops (gen_body st vars) in
+  (* Mark genuinely parallel loops pardo (with some probability): a pardo
+     loop that actually carries a dependence would make even the original
+     nest order-dependent, leaving the oracle without a reference. *)
+  let vectors = Itf_dep.Analysis.vectors nest in
+  let parallel = Itf_core.Queries.parallelizable_loops ~depth vectors in
+  {
+    nest with
+    Nest.loops =
+      List.mapi
+        (fun k (l : Nest.loop) ->
+          if List.mem k parallel && Random.State.int st 3 = 0 then
+            { l with Nest.kind = Nest.Pardo }
+          else l)
+        nest.Nest.loops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Sequences                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_perm st n =
+  let p = Array.init n Fun.id in
+  for k = n - 1 downto 1 do
+    let j = Random.State.int st (k + 1) in
+    let tmp = p.(k) in
+    p.(k) <- p.(j);
+    p.(j) <- tmp
+  done;
+  p
+
+(* Small random unimodular matrix: a product of elementary generators. *)
+let gen_unimodular st n =
+  let m = ref (Intmat.identity n) in
+  for _ = 1 to 1 + Random.State.int st 3 do
+    let e =
+      match Random.State.int st 3 with
+      | 0 ->
+        let i = Random.State.int st n in
+        Intmat.reversal n i
+      | 1 when n >= 2 ->
+        let i = Random.State.int st n in
+        let j = (i + 1 + Random.State.int st (n - 1)) mod n in
+        Intmat.interchange n i j
+      | _ when n >= 2 ->
+        let i = Random.State.int st n in
+        let j = (i + 1 + Random.State.int st (n - 1)) mod n in
+        Intmat.skew n i j (1 + Random.State.int st 2)
+      | _ -> Intmat.reversal n 0
+    in
+    m := Intmat.mul e !m
+  done;
+  !m
+
+let gen_template st n =
+  let pick_range () =
+    let i = Random.State.int st n in
+    let j = i + Random.State.int st (n - i) in
+    (i, j)
+  in
+  match Random.State.int st (if n >= 2 then 9 else 7) with
+  | 0 ->
+    let i, j = pick_range () in
+    T.block ~n ~i ~j
+      ~bsize:
+        (Array.init (j - i + 1) (fun _ -> Expr.int (2 + Random.State.int st 2)))
+  | 1 ->
+    let i, j = pick_range () in
+    T.coalesce ~n ~i ~j
+  | 2 ->
+    let i, j = pick_range () in
+    T.interleave ~n ~i ~j
+      ~isize:
+        (Array.init (j - i + 1) (fun _ -> Expr.int (2 + Random.State.int st 2)))
+  | 3 ->
+    let flags = Array.init n (fun _ -> Random.State.int st 3 = 0) in
+    if Array.exists Fun.id flags then T.parallelize flags
+    else T.parallelize_one ~n (Random.State.int st n)
+  | 4 -> T.reversal ~n (Random.State.int st n)
+  | 5 ->
+    (* general reverse+permute in one template *)
+    T.reverse_permute
+      ~rev:(Array.init n (fun _ -> Random.State.int st 4 = 0))
+      ~perm:(gen_perm st n)
+  | 6 -> T.unimodular (gen_unimodular st n)
+  | 7 -> T.interchange ~n (Random.State.int st n) (Random.State.int st n)
+  | _ ->
+    let src = Random.State.int st n in
+    let dst = (src + 1 + Random.State.int st (n - 1)) mod n in
+    T.skew ~n ~src ~dst ~factor:(1 + Random.State.int st 2)
+
+let gen_sequence st depth =
+  let len = 1 + Random.State.int st 3 in
+  let rec go n k =
+    if k = 0 || n > 5 then []
+    else
+      let t = gen_template st n in
+      if T.output_depth t > 6 then []
+      else t :: go (T.output_depth t) (k - 1)
+  in
+  go depth len
+
+let case st =
+  let uses_n = Random.State.int st 4 = 0 in
+  let nest = gen_nest st ~uses_n in
+  let seq = gen_sequence st (Nest.depth nest) in
+  let params = [ ("n", 5 + Random.State.int st 4) ] in
+  { nest; seq; params }

@@ -1,0 +1,28 @@
+(** Seeded random generation of loop nests and transformation sequences for
+    the differential oracle harness.
+
+    Nests cover the corners the paper's code-generation rules care about:
+    negative and non-unit steps, affine (triangular) bounds on outer
+    variables, [min]/[max]-clamped bounds, statically empty loops, guarded
+    stores, scalar-carried values, multi-array bodies and (genuinely
+    parallel) [pardo] loops. Sequences draw every kernel template,
+    including general reverse+permute masks and composite unimodular
+    matrices, and are {e not} biased toward legality — the illegal ones
+    feed the legality-soundness cross-check.
+
+    All randomness flows through the caller's [Random.State.t], so a seed
+    identifies a case stream exactly. *)
+
+type case = {
+  nest : Itf_ir.Nest.t;
+  seq : Itf_core.Sequence.t;
+  params : (string * int) list;  (** values for symbolic parameters *)
+}
+
+val case : Random.State.t -> case
+
+val array_lo : int
+val array_hi : int
+(** Per-dimension inclusive declaration bounds that every generated
+    subscript is guaranteed to respect (the oracle declares arrays with
+    these). *)

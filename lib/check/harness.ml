@@ -1,0 +1,114 @@
+(* The fuzz loop: generate cases from a seed, judge each with the oracle,
+   shrink and record failures. *)
+
+type failure = {
+  index : int;
+  case : Gen.case;
+  shrunk : Gen.case;
+  divergences : Oracle.divergence list;
+}
+
+type report = {
+  cases : int;
+  legal_ok : int;
+  rejected_bounds : int;
+  rejected_dependence : int;
+  confirmed_rejections : int;
+  unconfirmed_rejections : int;
+  skipped : int;
+  failures : failure list;
+}
+
+let pp_divergences ppf ds =
+  List.iter
+    (fun { Oracle.leg; detail } -> Format.fprintf ppf "  [%s] %s@." leg detail)
+    ds
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "cases: %d@.  legal & equivalent: %d@.  rejected (bounds): %d@.  rejected \
+     (dependence): %d (confirmed %d, unconfirmed %d)@.  skipped: %d@.  \
+     divergences: %d@."
+    r.cases r.legal_ok r.rejected_bounds r.rejected_dependence
+    r.confirmed_rejections r.unconfirmed_rejections r.skipped
+    (List.length r.failures)
+
+(* A case "fails" iff the oracle reports a divergence; used both for
+   counting and as the shrinker's predicate. *)
+let diverges ?backends ?check_memsim (c : Gen.case) =
+  match
+    Oracle.run_case ?backends ?check_memsim ~params:c.Gen.params c.Gen.nest
+      c.Gen.seq
+  with
+  | Oracle.Diverged ds -> Some ds
+  | _ -> None
+
+let run_one ?backends ?check_memsim ?(shrink = true) ~index (c : Gen.case) =
+  let outcome =
+    Oracle.run_case ?backends ?check_memsim ~params:c.Gen.params c.Gen.nest
+      c.Gen.seq
+  in
+  match outcome with
+  | Oracle.Diverged divergences ->
+    let shrunk =
+      if shrink then
+        Shrink.minimize
+          ~still_failing:(fun c' ->
+            diverges ?backends ?check_memsim c' <> None)
+          c
+      else c
+    in
+    (* re-judge the shrunk case for the up-to-date divergence list *)
+    let divergences =
+      match diverges ?backends ?check_memsim shrunk with
+      | Some ds -> ds
+      | None -> divergences
+    in
+    (outcome, Some { index; case = c; shrunk; divergences })
+  | _ -> (outcome, None)
+
+let fuzz ?backends ?check_memsim ?(shrink = true) ?on_case ~seed ~budget () =
+  let st = Random.State.make [| seed |] in
+  let r =
+    ref
+      {
+        cases = 0;
+        legal_ok = 0;
+        rejected_bounds = 0;
+        rejected_dependence = 0;
+        confirmed_rejections = 0;
+        unconfirmed_rejections = 0;
+        skipped = 0;
+        failures = [];
+      }
+  in
+  for index = 0 to budget - 1 do
+    let case = Gen.case st in
+    let outcome, failure = run_one ?backends ?check_memsim ~shrink ~index case in
+    let c = !r in
+    let c = { c with cases = c.cases + 1 } in
+    let c =
+      match outcome with
+      | Oracle.Ok_equivalent -> { c with legal_ok = c.legal_ok + 1 }
+      | Oracle.Rejected_bounds -> { c with rejected_bounds = c.rejected_bounds + 1 }
+      | Oracle.Rejected_dependence conf ->
+        let c = { c with rejected_dependence = c.rejected_dependence + 1 } in
+        if conf = `Confirmed then
+          { c with confirmed_rejections = c.confirmed_rejections + 1 }
+        else { c with unconfirmed_rejections = c.unconfirmed_rejections + 1 }
+      | Oracle.Skipped _ -> { c with skipped = c.skipped + 1 }
+      | Oracle.Diverged _ -> c
+    in
+    let c =
+      match failure with
+      | Some f -> { c with failures = f :: c.failures }
+      | None -> c
+    in
+    r := c;
+    Option.iter (fun f -> f ~index ~outcome) on_case
+  done;
+  { !r with failures = List.rev !r.failures }
+
+let replay ?backends ?check_memsim (c : Gen.case) =
+  Oracle.run_case ?backends ?check_memsim ~params:c.Gen.params c.Gen.nest
+    c.Gen.seq

@@ -1,0 +1,44 @@
+(** The fuzz loop tying the pieces together: {!Gen} streams cases from a
+    seed, {!Oracle} judges each, {!Shrink} minimizes failures. *)
+
+type failure = {
+  index : int;  (** case number within the run (0-based) *)
+  case : Gen.case;  (** as generated *)
+  shrunk : Gen.case;  (** minimized, still diverging *)
+  divergences : Oracle.divergence list;  (** for the shrunk case *)
+}
+
+type report = {
+  cases : int;
+  legal_ok : int;
+  rejected_bounds : int;
+  rejected_dependence : int;
+  confirmed_rejections : int;
+      (** rejections the trace-based detector justified *)
+  unconfirmed_rejections : int;
+      (** possibly-conservative rejections — logged, not fatal *)
+  skipped : int;
+  failures : failure list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+val pp_divergences : Format.formatter -> Oracle.divergence list -> unit
+
+val fuzz :
+  ?backends:Oracle.backend list ->
+  ?check_memsim:bool ->
+  ?shrink:bool ->
+  ?on_case:(index:int -> outcome:Oracle.outcome -> unit) ->
+  seed:int ->
+  budget:int ->
+  unit ->
+  report
+(** Run [budget] cases from [seed]. Deterministic for fixed arguments
+    (modulo the [`C] leg's availability of a compiler). *)
+
+val replay :
+  ?backends:Oracle.backend list ->
+  ?check_memsim:bool ->
+  Gen.case ->
+  Oracle.outcome
+(** Judge a single (typically corpus-loaded) case. *)

@@ -1,0 +1,82 @@
+(* Replayable reproducer files.
+
+   Format: [#] comment lines anywhere; three sections introduced by
+   [[params]], [[nest]] and [[script]] headers. Params are [name = value]
+   lines; the nest section is the surface loop language (Nest.pp output
+   reparsed by Itf_lang.Parser); the script section is the transformation
+   script language (Itf_lang.Script.of_sequence output reparsed by Itf_lang.Script.parse). *)
+
+exception Error of string
+
+let to_string ?(note = "") (c : Gen.case) =
+  let b = Buffer.create 256 in
+  if note <> "" then
+    String.split_on_char '\n' note
+    |> List.iter (fun l -> Buffer.add_string b ("# " ^ l ^ "\n"));
+  Buffer.add_string b "[params]\n";
+  List.iter
+    (fun (v, x) -> Buffer.add_string b (Printf.sprintf "%s = %d\n" v x))
+    c.Gen.params;
+  Buffer.add_string b "[nest]\n";
+  Buffer.add_string b (Itf_ir.Nest.to_string c.Gen.nest);
+  if c.Gen.seq <> [] then begin
+    Buffer.add_string b "[script]\n";
+    Buffer.add_string b (Itf_lang.Script.of_sequence c.Gen.seq);
+    Buffer.add_char b '\n'
+  end
+  else Buffer.add_string b "[script]\n";
+  Buffer.contents b
+
+let of_string s =
+  let section = ref `None in
+  let params = ref [] and nest_lines = ref [] and script_lines = ref [] in
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         let t = String.trim line in
+         if String.length t > 0 && t.[0] = '#' then ()
+         else
+           match t with
+           | "[params]" -> section := `Params
+           | "[nest]" -> section := `Nest
+           | "[script]" -> section := `Script
+           | "" when !section <> `Nest -> ()
+           | _ -> (
+             match !section with
+             | `Params -> (
+               match String.split_on_char '=' t with
+               | [ v; x ] -> (
+                 match int_of_string_opt (String.trim x) with
+                 | Some x -> params := (String.trim v, x) :: !params
+                 | None -> raise (Error ("bad param line: " ^ t)))
+               | _ -> raise (Error ("bad param line: " ^ t)))
+             | `Nest -> nest_lines := line :: !nest_lines
+             | `Script -> script_lines := line :: !script_lines
+             | `None -> raise (Error ("text before any section: " ^ t))));
+  let nest_src = String.concat "\n" (List.rev !nest_lines) in
+  if String.trim nest_src = "" then raise (Error "missing [nest] section");
+  let nest =
+    try Itf_lang.Parser.parse_nest nest_src
+    with Itf_lang.Parser.Error { line; message } ->
+      raise (Error (Printf.sprintf "nest parse error (line %d): %s" line message))
+  in
+  let script_src = String.concat "\n" (List.rev !script_lines) in
+  let seq =
+    try Itf_lang.Script.parse ~depth:(Itf_ir.Nest.depth nest) script_src
+    with Itf_lang.Script.Error { line; message } ->
+      raise
+        (Error (Printf.sprintf "script parse error (line %d): %s" line message))
+  in
+  { Gen.nest; seq; params = List.rev !params }
+
+let save ?note path c =
+  let oc = open_out path in
+  output_string oc (to_string ?note c);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  try of_string s
+  with Error m -> raise (Error (path ^ ": " ^ m))

@@ -1,0 +1,155 @@
+open Itf_ir
+module T = Itf_core.Template
+
+(* Greedy structural shrinking: repeatedly try single-step reductions of
+   the (nest, sequence) pair and keep any the caller still judges failing,
+   until no step applies. Every candidate is a well-formed case, so the
+   minimum is directly replayable. *)
+
+let chains ~depth seq =
+  Itf_core.Sequence.well_formed seq
+  && (seq = [] || (List.hd seq |> T.input_depth) = depth)
+
+(* --- sequence candidates: drop one template ----------------------- *)
+
+let seq_candidates ~depth seq =
+  List.init (List.length seq) (fun k ->
+      List.filteri (fun l _ -> l <> k) seq)
+  |> List.filter (chains ~depth)
+
+(* --- statement candidates ------------------------------------------ *)
+
+(* One-step reductions of a statement list: drop a statement, or replace
+   a guard by its body (a guard often hides the store that matters). *)
+let rec stmt_list_candidates (stmts : Stmt.t list) : Stmt.t list list =
+  let drops =
+    if List.length stmts <= 1 then []
+    else List.init (List.length stmts) (fun k ->
+        List.filteri (fun l _ -> l <> k) stmts)
+  in
+  let inner =
+    List.concat
+      (List.mapi
+         (fun k s ->
+           List.map
+             (fun s' -> List.mapi (fun l old -> if l = k then s' else old) stmts)
+             (stmt_candidates s))
+         stmts)
+  in
+  drops @ inner
+
+and stmt_candidates : Stmt.t -> Stmt.t list = function
+  | Stmt.Guard { body; _ } -> body (* replace the guard by an inner stmt *)
+  | _ -> []
+
+(* --- expression candidates (bounds only) --------------------------- *)
+
+(* Shrink a bound expression: unwrap min/max clamps, move constants
+   toward zero. *)
+let rec expr_candidates (e : Expr.t) : Expr.t list =
+  match e with
+  | Expr.Min (a, b) | Expr.Max (a, b) -> [ a; b ]
+  | Expr.Int c when c <> 0 -> [ Expr.Int (c - (if c > 0 then 1 else -1)) ]
+  | Expr.Add (a, b) ->
+    List.map (fun a' -> Expr.add a' b) (expr_candidates a)
+    @ List.map (fun b' -> Expr.add a b') (expr_candidates b)
+  | _ -> []
+
+(* --- loop candidates ----------------------------------------------- *)
+
+let loop_candidates (l : Nest.loop) : Nest.loop list =
+  let bound_shrinks =
+    List.map (fun hi -> { l with Nest.hi }) (expr_candidates l.Nest.hi)
+    @ List.map (fun lo -> { l with Nest.lo }) (expr_candidates l.Nest.lo)
+  in
+  let step_shrinks =
+    match Expr.to_int l.Nest.step with
+    | Some s when s > 1 -> [ { l with Nest.step = Expr.int 1 } ]
+    | Some s when s < -1 -> [ { l with Nest.step = Expr.int (-1) } ]
+    | _ -> []
+  in
+  (* collapse the loop to its first iteration *)
+  let collapse =
+    if Expr.compare l.Nest.lo l.Nest.hi = 0 then []
+    else [ { l with Nest.hi = l.Nest.lo } ]
+  in
+  collapse @ step_shrinks @ bound_shrinks
+
+(* The generator only marks analysis-parallelizable loops [pardo]; a
+   shrink step that invalidates that (e.g. tightening a bound until a
+   dependence appears) would manufacture an order-dependent "original"
+   nest and a bogus divergence. Candidates must keep the invariant. *)
+let pardo_marking_sound (nest : Nest.t) =
+  let pardos =
+    List.concat
+      (List.mapi
+         (fun k (l : Nest.loop) -> if l.Nest.kind = Nest.Pardo then [ k ] else [])
+         nest.Nest.loops)
+  in
+  pardos = []
+  ||
+  let vectors = Itf_dep.Analysis.vectors nest in
+  let parallel =
+    Itf_core.Queries.parallelizable_loops ~depth:(Nest.depth nest) vectors
+  in
+  List.for_all (fun k -> List.mem k parallel) pardos
+
+let nest_candidates (nest : Nest.t) : Nest.t list =
+  let with_loops loops = { nest with Nest.loops } in
+  let loop_shrinks =
+    List.concat
+      (List.mapi
+         (fun k l ->
+           List.map
+             (fun l' ->
+               with_loops
+                 (List.mapi (fun i old -> if i = k then l' else old)
+                    nest.Nest.loops))
+             (loop_candidates l))
+         nest.Nest.loops)
+  in
+  let body_shrinks =
+    List.map
+      (fun body -> { nest with Nest.body })
+      (stmt_list_candidates nest.Nest.body)
+  in
+  List.filter pardo_marking_sound (body_shrinks @ loop_shrinks)
+
+(* --- parameter candidates ------------------------------------------ *)
+
+let param_candidates params =
+  List.concat
+    (List.mapi
+       (fun k (v, x) ->
+         if x = 0 then []
+         else
+           [
+             List.mapi
+               (fun l p -> if l = k then (v, x - (if x > 0 then 1 else -1)) else p)
+               params;
+           ])
+       params)
+
+(* --- driver --------------------------------------------------------- *)
+
+let candidates (c : Gen.case) : Gen.case list =
+  List.map (fun seq -> { c with Gen.seq }) (seq_candidates ~depth:(Nest.depth c.Gen.nest) c.Gen.seq)
+  @ List.map (fun nest -> { c with Gen.nest }) (nest_candidates c.Gen.nest)
+  @ List.map (fun params -> { c with Gen.params }) (param_candidates c.Gen.params)
+
+let minimize ~still_failing (c : Gen.case) =
+  let steps = ref 0 in
+  let rec go c =
+    if !steps > 500 then c
+    else
+      match
+        List.find_opt
+          (fun c' ->
+            incr steps;
+            try still_failing c' with _ -> false)
+          (candidates c)
+      with
+      | Some c' -> go c'
+      | None -> c
+  in
+  go c

@@ -1,0 +1,13 @@
+(** Greedy minimizer for failing (nest, sequence, params) cases.
+
+    Tries single-step structural reductions — dropping a template (when
+    the rest still chains), dropping a body statement, unwrapping a guard,
+    tightening loop bounds, normalizing steps to [±1], nudging constants
+    and parameter values toward zero — and keeps any reduction for which
+    [still_failing] still holds, iterating to a fixpoint (with a hard cap
+    on probe count so shrinking never dominates a fuzz run).
+
+    [still_failing] is called on candidate cases; exceptions it raises are
+    treated as "not failing" so the shrinker cannot crash the harness. *)
+
+val minimize : still_failing:(Gen.case -> bool) -> Gen.case -> Gen.case

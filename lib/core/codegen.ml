@@ -85,8 +85,19 @@ let normalize_steps fresh (nest : Nest.t) =
             let value = Expr.add lo (Expr.mul l.Nest.step (Expr.var t)) in
             env := (l.Nest.var, value) :: !env;
             inits := Stmt.Set (l.Nest.var, value) :: !inits;
+            (* The iteration-count rewrite below divides by the step and
+               orients the far bound by its sign, so it is only exact for a
+               nonzero compile-time-constant step. A runtime step would
+               silently take the positive-sign branch and produce wrong
+               bounds whenever it is negative — reject instead (consistent
+               with [block]'s [step_of]). *)
             let step_sign =
-              match Expr.to_int l.Nest.step with Some s -> s | None -> 1
+              match Expr.to_int l.Nest.step with
+              | Some s when s <> 0 -> s
+              | Some _ ->
+                invalid_arg "Codegen.normalize_steps: zero step"
+              | None ->
+                invalid_arg "Codegen.normalize_steps: non-constant step"
             in
             (* The iteration count is 1 + floor((u - lo)/s). Push the
                division inside a structured far bound — floor commutes with
@@ -368,11 +379,17 @@ let coalesce nest i j =
   let total =
     Array.fold_left (fun acc c -> Expr.mul acc c) Expr.one counts
   in
+  (* A band containing a statically empty loop coalesces to a loop that
+     never runs; its delinearization formulas would divide/mod by a zero
+     count, so they are replaced by safe constants below. *)
+  let statically_empty =
+    Array.exists (fun c -> Expr.to_int c = Some 0) counts
+  in
+  let initial (l : Nest.loop) =
+    if l.Nest.var = "" then "x" else String.make 1 l.Nest.var.[0]
+  in
   let cname =
-    fresh
-      (String.concat ""
-         (Array.to_list (Array.map (fun (l : Nest.loop) -> String.make 1 l.Nest.var.[0]) band))
-      ^ "c")
+    fresh (String.concat "" (Array.to_list (Array.map initial band)) ^ "c")
   in
   let kind =
     if Array.for_all (fun (l : Nest.loop) -> l.Nest.kind = Nest.Pardo) band
@@ -386,12 +403,18 @@ let coalesce nest i j =
   let delinearized =
     List.init width (fun k ->
         let l = band.(k) in
-        let suffix =
-          Array.fold_left (fun acc c -> Expr.mul acc c) Expr.one
-            (Array.sub counts (k + 1) (width - k - 1))
-        in
-        let idx = Expr.mod_ (Expr.div (Expr.var cname) suffix) counts.(k) in
-        (l.Nest.var, Expr.add l.Nest.lo (Expr.mul l.Nest.step idx)))
+        if statically_empty then
+          (* The coalesced loop has zero iterations: any well-defined value
+             works (the inits never execute), and the original lower bound
+             avoids divisions by a statically zero count. *)
+          (l.Nest.var, l.Nest.lo)
+        else
+          let suffix =
+            Array.fold_left (fun acc c -> Expr.mul acc c) Expr.one
+              (Array.sub counts (k + 1) (width - k - 1))
+          in
+          let idx = Expr.mod_ (Expr.div (Expr.var cname) suffix) counts.(k) in
+          (l.Nest.var, Expr.add l.Nest.lo (Expr.mul l.Nest.step idx)))
   in
   let inits = List.map (fun (v, e) -> Stmt.Set (v, e)) delinearized in
   (* Loops deeper than the coalesced band may reference the coalesced

@@ -51,30 +51,193 @@ let elem_scale c e =
     | Dist d -> Dist (c * d)
     | Dir d -> dir (if c > 0 then d else Dir.reverse d)
 
-let unimodular_map m (d : t) : t =
+(* ------------------------------------------------------------------ *)
+(* Grid-shift-aware normalized deltas for Unimodular                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The unimodular matrix acts on the step-normalized loop variables
+   produced by {!Codegen.normalize_steps}: a unit-step loop keeps its
+   variable, and a loop with step [s] and lower bound [lo] becomes a
+   zero-based counter [t] with [x = lo + s*t]. When [lo] is invariant in
+   the enclosing loop variables, the normalized delta of a dependence
+   equals its vector entry and the classic [d' = M d] rule applies. When
+   [lo] depends on an enclosing loop, the two iterations of a dependence
+   sit on shifted grids and the counter delta is [(dx - dlo) / s], which
+   the entry alone does not determine: the plain rule accepted skews and
+   reversals that reorder dependent iterations (found by the differential
+   fuzzer, e.g. skewing across [do j = i, i+3, 3]). For such components we
+   bound the normalized delta by interval arithmetic over value deltas. *)
+
+let ext_neg = function NegInf -> PosInf | PosInf -> NegInf | Fin x -> Fin (-x)
+
+let ext_min a b =
+  match (a, b) with
+  | NegInf, _ | _, NegInf -> NegInf
+  | PosInf, x | x, PosInf -> x
+  | Fin x, Fin y -> Fin (min x y)
+
+let ext_max a b =
+  match (a, b) with
+  | PosInf, _ | _, PosInf -> PosInf
+  | NegInf, x | x, NegInf -> x
+  | Fin x, Fin y -> Fin (max x y)
+
+let interval_neg (lo, hi) = (ext_neg hi, ext_neg lo)
+let interval_add (a, b) (c, d) = (ext_add a c, ext_add b d)
+let interval_sub i j = interval_add i (interval_neg j)
+
+let interval_scale c (lo, hi) =
+  if c >= 0 then (ext_scale c lo, ext_scale c hi)
+  else (ext_scale c hi, ext_scale c lo)
+
+let floor_div_int a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (a < 0) <> (b < 0) then q - 1 else q
+
+let ceil_div_int a b = -floor_div_int (-a) b
+
+let ext_div_floor x s =
+  match x with
+  | Fin v -> Fin (floor_div_int v s)
+  | NegInf -> if s > 0 then NegInf else PosInf
+  | PosInf -> if s > 0 then PosInf else NegInf
+
+let ext_div_ceil x s =
+  match x with
+  | Fin v -> Fin (ceil_div_int v s)
+  | NegInf -> if s > 0 then NegInf else PosInf
+  | PosInf -> if s > 0 then PosInf else NegInf
+
+(* Integers [t] with [s * t] inside the interval, [s <> 0]. *)
+let interval_unscale s (lo, hi) =
+  if s > 0 then (ext_div_ceil lo s, ext_div_floor hi s)
+  else (ext_div_ceil hi s, ext_div_floor lo s)
+
+(* Possible differences [x_sink - x_source] of the original variable's
+   values. [aligned] asserts the loop's grid origin is shared by both
+   iterations, so nonzero differences are at least a full step apart. *)
+let value_interval ~step ~aligned e =
+  if is_zero e then (Fin 0, Fin 0)
+  else
+    match e with
+    | Dist d -> (Fin (d * step), Fin (d * step))
+    | Dir d ->
+      let s = Dir.signs d in
+      let m = if aligned then abs step else 1 in
+      (* entry constrains the execution-corrected sign u = dx * sgn(step) *)
+      let ulo =
+        if s.Dir.neg then NegInf else if s.Dir.zero then Fin 0 else Fin m
+      in
+      let uhi =
+        if s.Dir.pos then PosInf else if s.Dir.zero then Fin 0 else Fin (-m)
+      in
+      if step > 0 then (ulo, uhi) else (ext_neg uhi, ext_neg ulo)
+
+(* Interval of [e(sink) - e(source)] given value-delta intervals for the
+   enclosing loop variables (anything else is invariant between the two). *)
+let rec delta_expr env (e : Itf_ir.Expr.t) =
+  let module Expr = Itf_ir.Expr in
+  match e with
+  | Expr.Int _ -> (Fin 0, Fin 0)
+  | Expr.Var v -> (
+    match List.assoc_opt v env with Some iv -> iv | None -> (Fin 0, Fin 0))
+  | Expr.Neg a -> interval_neg (delta_expr env a)
+  | Expr.Add (a, b) -> interval_add (delta_expr env a) (delta_expr env b)
+  | Expr.Sub (a, b) -> interval_sub (delta_expr env a) (delta_expr env b)
+  | Expr.Mul (a, b) -> (
+    match (Expr.to_int a, Expr.to_int b) with
+    | Some c, _ -> interval_scale c (delta_expr env b)
+    | _, Some c -> interval_scale c (delta_expr env a)
+    | None, None ->
+      if delta_free env e then (Fin 0, Fin 0) else (NegInf, PosInf))
+  | Expr.Min (a, b) | Expr.Max (a, b) ->
+    (* min/max are 1-Lipschitz: the delta lies in the hull of the
+       argument deltas. *)
+    let la, ha = delta_expr env a and lb, hb = delta_expr env b in
+    (ext_min la lb, ext_max ha hb)
+  | Expr.Div _ | Expr.Mod _ | Expr.Load _ | Expr.Call _ ->
+    if delta_free env e then (Fin 0, Fin 0) else (NegInf, PosInf)
+
+and delta_free env e =
+  List.for_all
+    (fun v ->
+      match List.assoc_opt v env with
+      | None | Some (Fin 0, Fin 0) -> true
+      | Some _ -> false)
+    (Itf_ir.Expr.free_vars e)
+
+type grid = { grid_exact : bool array; grid_norm : (ext * ext) array }
+
+(* Per-component deltas of the step-normalized variables the matrix will
+   mix, for the dependence vector [d] on [nest]. *)
+let grid_of_nest (nest : Itf_ir.Nest.t) (d : t) : grid =
+  let module Nest = Itf_ir.Nest in
+  let module Expr = Itf_ir.Expr in
+  let loops = Array.of_list nest.Nest.loops in
+  let n = Array.length loops in
+  let loop_vars = Nest.loop_vars nest in
+  let grid_exact = Array.make n true in
+  let grid_norm = Array.make n (Fin 0, Fin 0) in
+  let env = ref [] in
+  for k = 0 to min (n - 1) (Array.length d - 1) do
+    let l = loops.(k) in
+    let step = Expr.to_int l.Nest.step in
+    let lo_invariant =
+      List.for_all
+        (fun v -> not (List.mem v loop_vars))
+        (Expr.free_vars l.Nest.lo)
+    in
+    let value =
+      match step with
+      | Some s -> value_interval ~step:s ~aligned:lo_invariant d.(k)
+      | None -> if is_zero d.(k) then (Fin 0, Fin 0) else (NegInf, PosInf)
+    in
+    (match step with
+    | Some 1 ->
+      (* Variable kept by normalization: the matrix sees the value delta,
+         which is exactly what the entry denotes at unit step. *)
+      grid_norm.(k) <- interval_of_elem d.(k)
+    | Some _ when lo_invariant ->
+      (* Shared grid origin: counter delta = entry. *)
+      grid_norm.(k) <- interval_of_elem d.(k)
+    | Some s ->
+      grid_exact.(k) <- false;
+      let dlo = delta_expr !env l.Nest.lo in
+      grid_norm.(k) <- interval_unscale s (interval_sub value dlo)
+    | None ->
+      grid_exact.(k) <- false;
+      grid_norm.(k) <-
+        (if is_zero d.(k) then (Fin 0, Fin 0) else (NegInf, PosInf)));
+    env := (l.Nest.var, value) :: !env
+  done;
+  { grid_exact; grid_norm }
+
+let unimodular_map ?grid m (d : t) : t =
   let n = Array.length d in
+  let exact k =
+    match grid with None -> true | Some g -> g.grid_exact.(k)
+  in
+  let interval k =
+    match grid with
+    | None -> interval_of_elem d.(k)
+    | Some g -> g.grid_norm.(k)
+  in
   Array.init n (fun r ->
       let row = Intmat.row m r in
-      let nonzero = Array.to_list row |> List.filter (fun c -> c <> 0) in
-      match nonzero with
+      let nonzero = ref [] in
+      Array.iteri (fun k c -> if c <> 0 then nonzero := (k, c) :: !nonzero) row;
+      match !nonzero with
       | [] -> Dist 0
-      | [ _ ] ->
-        (* Single-term row: exact scaling. *)
-        let k = ref 0 in
-        Array.iteri (fun idx c -> if c <> 0 then k := idx) row;
-        elem_scale row.(!k) d.(!k)
-      | _ ->
-        let acc = ref (Fin 0, Fin 0) in
-        Array.iteri
-          (fun k c ->
-            if c <> 0 then begin
-              let lo, hi = interval_of_elem d.(k) in
-              let lo, hi = if c > 0 then (lo, hi) else (hi, lo) in
-              let lo = ext_scale c lo and hi = ext_scale c hi in
-              acc := (ext_add (fst !acc) lo, ext_add (snd !acc) hi)
-            end)
-          row;
-        elem_of_interval !acc)
+      | [ (k, c) ] when exact k ->
+        (* Single-term row over a shared-grid component: exact scaling. *)
+        elem_scale c d.(k)
+      | nz ->
+        let acc =
+          List.fold_left
+            (fun acc (k, c) -> interval_add acc (interval_scale c (interval k)))
+            (Fin 0, Fin 0) nz
+        in
+        elem_of_interval acc)
 
 (* ------------------------------------------------------------------ *)
 (* ReversePermute                                                      *)
@@ -263,17 +426,20 @@ let interleave_map ~rectangular i j (d : t) : t list =
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let map_vector ?(rectangular_bands = false) (t : Template.t) (d : t) : t list =
+let map_vector ?(rectangular_bands = false) ?nest (t : Template.t) (d : t) :
+    t list =
   if Array.length d <> Template.input_depth t then
     invalid_arg "Depmap.map_vector: vector length mismatch";
   let rectangular = rectangular_bands in
   match t with
-  | Template.Unimodular { m; _ } -> [ unimodular_map m d ]
+  | Template.Unimodular { m; _ } ->
+    let grid = Option.map (fun nest -> grid_of_nest nest d) nest in
+    [ unimodular_map ?grid m d ]
   | Template.Reverse_permute { rev; perm; _ } -> [ reverse_permute_map rev perm d ]
   | Template.Parallelize { parflag; _ } -> [ parallelize_map parflag d ]
   | Template.Block { i; j; _ } -> block_map ~rectangular i j d
   | Template.Coalesce { i; j; _ } -> [ coalesce_map ~rectangular i j d ]
   | Template.Interleave { i; j; _ } -> interleave_map ~rectangular i j d
 
-let map_set ?rectangular_bands t ds =
-  Depvec.dedupe (List.concat_map (map_vector ?rectangular_bands t) ds)
+let map_set ?rectangular_bands ?nest t ds =
+  Depvec.dedupe (List.concat_map (map_vector ?rectangular_bands ?nest t) ds)

@@ -24,9 +24,20 @@
       sign-unknown components take the corresponding unions. *)
 
 val map_vector :
-  ?rectangular_bands:bool -> Template.t -> Itf_dep.Depvec.t ->
-  Itf_dep.Depvec.t list
-(** [rectangular_bands] (default [false]) asserts that the bounds and steps
+  ?rectangular_bands:bool -> ?nest:Itf_ir.Nest.t -> Template.t ->
+  Itf_dep.Depvec.t -> Itf_dep.Depvec.t list
+(** [nest] is the nest the template is applied to. [Unimodular] needs it
+    whenever a non-unit-step loop's lower bound depends on an enclosing
+    loop variable: the matrix acts on step-normalized counters whose grid
+    origin then shifts between the two iterations of a dependence, so the
+    counter delta is [(dx - dlo)/s] rather than the vector entry itself.
+    With the nest at hand those components are bounded by interval
+    arithmetic over value deltas; without it the classic [d' = M d] rule is
+    used, which is only sound for invariant lower bounds (the differential
+    fuzzer found skews of [do j = i, i+3, 3]-style nests it wrongly
+    accepts).
+
+    [rectangular_bands] (default [false]) asserts that the bounds and steps
     of the template's loop range are invariant in {e all} enclosing loop
     variables. Table 2's exact entries for [Block]/[Coalesce]/[Interleave]
     bands (e.g. [blockmap]'s [(0, d)] "same block" pair) silently assume
@@ -42,8 +53,8 @@ val map_vector :
     template's input depth. *)
 
 val map_set :
-  ?rectangular_bands:bool -> Template.t -> Itf_dep.Depvec.t list ->
-  Itf_dep.Depvec.t list
+  ?rectangular_bands:bool -> ?nest:Itf_ir.Nest.t -> Template.t ->
+  Itf_dep.Depvec.t list -> Itf_dep.Depvec.t list
 (** Image of a whole dependence-vector set, deduplicated. *)
 
 (** {1 Individual entry maps (exposed for tests and documentation)} *)

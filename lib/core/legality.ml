@@ -43,6 +43,31 @@ let rectangular_bands bm (t : Template.t) =
 
 let bump count n = match count with None -> () | Some r -> r := !r + n
 
+(* Code generation propagates [pardo] markings structurally (a blocked
+   parallel loop yields a parallel block loop and element loop, etc.), but
+   a transformation can invalidate a propagated marking: blocking the
+   inner loop of [do i; pardo j] with a dependence of distance (1, 1)
+   leaves each tile internally order-free yet makes the block loop carry
+   the dependence. Running a loop sequentially is always safe, so demote
+   any marking the mapped vectors no longer support. *)
+let demote_unsupported_pardo (nest : Nest.t) vectors =
+  if List.for_all (fun (l : Nest.loop) -> l.Nest.kind = Nest.Do) nest.Nest.loops
+  then nest
+  else
+    let par =
+      Queries.parallelizable_loops ~depth:(Nest.depth nest) vectors
+    in
+    {
+      nest with
+      Nest.loops =
+        List.mapi
+          (fun k (l : Nest.loop) ->
+            if l.Nest.kind = Nest.Pardo && not (List.mem k par) then
+              { l with Nest.kind = Nest.Do }
+            else l)
+          nest.Nest.loops;
+    }
+
 let check ?count ?vectors nest (seq : Sequence.t) =
   if not (Sequence.well_formed seq) then
     invalid_arg "Legality.check: sequence does not chain";
@@ -75,9 +100,10 @@ let check ?count ?vectors nest (seq : Sequence.t) =
            report it as a bounds violation rather than crash. *)
         match Codegen.apply nest t with
         | nest' ->
-          go (index + 1) nest'
-            (Depmap.map_set ~rectangular_bands t vectors)
-            (stage :: stages) rest
+          let vectors' = Depmap.map_set ~rectangular_bands ~nest t vectors in
+          go (index + 1)
+            (demote_unsupported_pardo nest' vectors')
+            vectors' (stage :: stages) rest
         | exception (Invalid_argument msg | Failure msg) ->
           Bounds_violation
             {
@@ -218,11 +244,14 @@ let extend ?count st (t : Template.t) =
       let rectangular_bands = rectangular_bands bm t in
       match Codegen.apply st.s_nest t with
       | nest' ->
+        let vectors' =
+          Depmap.map_set ~rectangular_bands ~nest:st.s_nest t st.s_vectors
+        in
         Ok
           {
             st with
-            s_nest = nest';
-            s_vectors = Depmap.map_set ~rectangular_bands t st.s_vectors;
+            s_nest = demote_unsupported_pardo nest' vectors';
+            s_vectors = vectors';
             s_stages_rev = stage :: st.s_stages_rev;
             s_seq_rev = t :: st.s_seq_rev;
           }

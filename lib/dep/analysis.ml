@@ -124,16 +124,24 @@ let rec refs_of_stmt ~scalars (s : Stmt.t) =
 
 (* Note on non-rectangular nests: the normalization environment maps each
    index variable to [lo + step * t], but a triangular lower bound keeps
-   its outer-variable references un-normalized, so source and sink
-   subscripts share those symbols. That conflation makes the whole
-   analysis effectively {e value-space} with a shared opaque offset: a
-   strong-SIV pin [delta = c / (a * s)] is exactly the step-normalized
-   difference of subscripted {e values}, which is also what the legality
-   test's vector entries denote. When source and sink reference an outer
-   variable with different embeddings (e.g. one through a bound, one
-   directly), the symbols fail to cancel and the dimension is treated as
-   unconstrained — conservative, never unsound. The randomized oracle
-   (test_semantics) exercises triangular nests against brute force. *)
+   its outer-variable references un-normalized, so source and sink bases
+   share those {e residual} symbols. Subtracting the bases then conflates
+   per-iteration quantities of two different iterations; the subtraction
+   is still exact at the {e value} level (a strong-SIV pair
+   [a x + beta = a x' + beta'] pins the value difference [x' - x]
+   regardless of the residuals), but any reasoning in iteration-counter
+   space — GCD over [a * step] coefficients, step divisibility, Banerjee
+   intervals over counter boxes — silently assumes the residuals are
+   equal, i.e. that the two iterations agree on the outer loops. An
+   earlier version made exactly that mistake: under [do j = i, i + 3, 3]
+   it proved [b(j + 1)] and [b(j - 3)] independent by step divisibility
+   ([3 dt = 4]) even though the [i]-shifted value grids intersect one
+   outer iteration apart (found by the differential fuzz harness, see
+   test/corpus). Equations whose bases carry residuals are therefore
+   screened only at the value level ({!screen_and_pin}) and excluded from
+   the counter-space interval test; the rational Fourier-Motzkin
+   refinement ({!fm_refutes}), which renormalizes source and sink
+   independently, recovers precision for the non-rectangular cases. *)
 type sub_info = {
   coeffs : int array; (* coefficient of t_k *)
   base : Expr.t;
@@ -160,12 +168,18 @@ let prep_sub infos (e : Expr.t) =
 
 type dim_eq = {
   ok : bool; (* affine subscripts with a known constant base difference *)
+  residual : bool; (* a base mentions an original loop variable *)
   ca : int array; (* coefficients of source iteration t *)
   cb : int array; (* coefficients of sink iteration t' *)
   c : int; (* constant: sum ca.t - sum cb.t' + c = 0 *)
 }
 
-type pin = Unknown | Exact of int
+(* [Exact d]: grid-aligned distance — the value difference of loop [k] is
+   exactly [d * step_k] (equivalently, counter distance [d] when the
+   grids align). [Valued q]: the value difference is exactly [q], but [q]
+   is not a multiple of the step (possible only across shifted grids), so
+   no [Dist] component can express it. *)
+type pin = Unknown | Exact of int | Valued of int
 
 exception Independent
 
@@ -173,11 +187,15 @@ let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 let gcd a b = gcd (abs a) (abs b)
 
 let dim_equations infos (a : ref_) (b : ref_) =
+  let loop_vars = List.map (fun ((l : Nest.loop), _) -> l.Nest.var) infos in
+  let mentions_loop_var e =
+    List.exists (fun v -> Expr.mentions v e) loop_vars
+  in
   List.map2
     (fun sa sb ->
       let sa = prep_sub infos sa and sb = prep_sub infos sb in
       if not (sa.affine && sb.affine) then
-        { ok = false; ca = [||]; cb = [||]; c = 0 }
+        { ok = false; residual = false; ca = [||]; cb = [||]; c = 0 }
       else
         (* Constant base difference: split the subtraction over all its
            free variables so that common symbolic terms (e.g. the loop
@@ -185,13 +203,41 @@ let dim_equations infos (a : ref_) (b : ref_) =
         let diff = Expr.sub sa.base sb.base in
         let s = Affine.split ~vars:(Expr.free_vars diff) diff in
         match (s.Affine.coeffs, Expr.to_int s.Affine.base) with
-        | [], Some c -> { ok = true; ca = sa.coeffs; cb = sb.coeffs; c }
-        | _ -> { ok = false; ca = [||]; cb = [||]; c = 0 })
+        | [], Some c ->
+          let residual = mentions_loop_var sa.base || mentions_loop_var sb.base in
+          { ok = true; residual; ca = sa.coeffs; cb = sb.coeffs; c }
+        | _ -> { ok = false; residual = false; ca = [||]; cb = [||]; c = 0 })
     a.subs b.subs
 
+let set_pin pins k p =
+  (* Two dimensions may pin the same loop; inconsistent pins prove
+     independence. [Exact d] and [Valued q] describe the same value
+     difference when [q = d * step], but [Valued] is only produced when
+     the step does not divide it, so any mix is a conflict. *)
+  match (pins.(k), p) with
+  | Unknown, p -> pins.(k) <- p
+  | Exact d, Exact d' -> if d <> d' then raise Independent
+  | Valued q, Valued q' -> if q <> q' then raise Independent
+  | Exact _, Valued _ | Valued _, Exact _ -> raise Independent
+  | _, Unknown -> ()
+
 (* ZIV + GCD screening, and exact per-loop distance pinning. Raises
-   [Independent] when some dimension can never be satisfied. *)
-let screen_and_pin n (eqs : dim_eq list) =
+   [Independent] when some dimension can never be satisfied.
+
+   Residual equations (bases sharing original loop variables between
+   source and sink) are screened at the VALUE level only: with matching
+   coefficients the equation reads [sum_k alpha_k * (x'_k - x_k) = c]
+   over arbitrary integer value differences, so the GCD runs over the
+   [alpha_k = ca_k / step_k] and a strong-SIV pair pins the value
+   difference [c / alpha] — which yields a [Dist] only when the step
+   divides it. Counter-space reasoning (GCD over [alpha * step], step
+   divisibility) would be unsound there: shifted grids still intersect at
+   non-multiples of the step. *)
+let screen_and_pin infos n (eqs : dim_eq list) =
+  let steps =
+    Array.of_list
+      (List.map (fun ((l : Nest.loop), _) -> Expr.to_int l.Nest.step) infos)
+  in
   let pins = Array.make n Unknown in
   List.iter
     (fun eq ->
@@ -202,23 +248,46 @@ let screen_and_pin n (eqs : dim_eq list) =
                  (if eq.ca.(k) <> 0 then [ `A k ] else [])
                  @ if eq.cb.(k) <> 0 then [ `B k ] else []))
         in
-        (* ZIV: no index variables at all. *)
+        (* ZIV: no index variables at all (residuals imply a nonzero
+           coefficient, so ZIV equations never carry them). *)
         if nonzero = [] && eq.c <> 0 then raise Independent;
-        (* GCD test. *)
-        let g =
-          Array.fold_left gcd (Array.fold_left gcd 0 eq.ca) eq.cb
-        in
-        if g > 0 && eq.c mod g <> 0 then raise Independent;
-        (* Strong SIV: a*t_k - a*t'_k + c = 0 pins delta_k = c / a. *)
-        match nonzero with
-        | [ `A k; `B k' ] when k = k' && eq.ca.(k) = eq.cb.(k) ->
-          let a = eq.ca.(k) in
-          if eq.c mod a <> 0 then raise Independent;
-          let d = eq.c / a in
-          (match pins.(k) with
-          | Unknown -> pins.(k) <- Exact d
-          | Exact d' -> if d <> d' then raise Independent)
-        | _ -> ()
+        if not eq.residual then begin
+          (* GCD test in counter space. *)
+          let g = Array.fold_left gcd (Array.fold_left gcd 0 eq.ca) eq.cb in
+          if g > 0 && eq.c mod g <> 0 then raise Independent;
+          (* Strong SIV: a*t_k - a*t'_k + c = 0 pins delta_k = c / a. *)
+          match nonzero with
+          | [ `A k; `B k' ] when k = k' && eq.ca.(k) = eq.cb.(k) ->
+            let a = eq.ca.(k) in
+            if eq.c mod a <> 0 then raise Independent;
+            set_pin pins k (Exact (eq.c / a))
+          | _ -> ()
+        end
+        else if Array.for_all2 ( = ) eq.ca eq.cb then begin
+          (* Value-level screens; need alpha_k = ca_k / step_k. *)
+          let alphas =
+            Array.init n (fun k ->
+                if eq.ca.(k) = 0 then Some 0
+                else
+                  match steps.(k) with
+                  | Some s when s <> 0 -> Some (eq.ca.(k) / s)
+                  | _ -> None)
+          in
+          if Array.for_all Option.is_some alphas then begin
+            let alphas = Array.map Option.get alphas in
+            let g = Array.fold_left gcd 0 alphas in
+            if g > 0 && eq.c mod g <> 0 then raise Independent;
+            match nonzero with
+            | [ `A k; `B k' ] when k = k' ->
+              let alpha = alphas.(k) in
+              if eq.c mod alpha <> 0 then raise Independent;
+              let q = eq.c / alpha in
+              let s = Option.get steps.(k) in
+              if q mod s = 0 then set_pin pins k (Exact (q / s))
+              else set_pin pins k (Valued q)
+            | _ -> ()
+          end
+        end
       end)
     eqs;
   pins
@@ -234,7 +303,7 @@ let sigma_feasible infos (pins : pin array) eqs (sigma : int array) =
           let drange =
             match pins.(k) with
             | Exact d -> ((Fin d : ext), (Fin d : ext))
-            | Unknown -> delta_range info sigma.(k)
+            | Unknown | Valued _ -> delta_range info sigma.(k)
           in
           let contrib =
             iv_add
@@ -326,9 +395,11 @@ let fm_refutes infos (pins : pin array) eqs (a : ref_) (b : ref_)
           upper_terms
       | _ -> ())
     infos;
-  (* Sigma / pin constraints. Vector components are step-normalized VALUE
-     differences, so constrain the value difference X'_k - X_k (whose
-     affine bases cancel exactly), not the raw counter difference. *)
+  (* Sigma / pin constraints. [Exact]/[Valued] pins and sigmas all speak
+     about the VALUE difference X'_k - X_k (whose affine bases cancel
+     exactly under the full normalization): [Exact d] means [d * step],
+     [Valued q] means [q], and a sigma constrains the value-difference
+     sign corrected for execution direction. *)
   let loops = Array.of_list (List.map fst infos) in
   Array.iteri
     (fun k s ->
@@ -359,13 +430,31 @@ let fm_refutes infos (pins : pin array) eqs (a : ref_) (b : ref_)
           let dv = d * step_mag * step_sign in
           ge_const dv;
           le_const dv
+        | Valued q ->
+          (* exact value difference; the counter direction (sigma) is
+             genuinely unconstrained across shifted grids *)
+          ge_const q;
+          le_const q
         | Unknown ->
-          if s = 0 then begin
-            ge_const 0;
-            le_const 0
-          end
-          else if s * step_sign > 0 then ge_const 1
-          else le_const (-1))
+          (* A sigma is a counter-order direction; it determines the
+             value-difference sign only when the loop's grids align
+             (invariant lower bound). For shifted grids leave the
+             dimension unconstrained — conservative. *)
+          let invariant_lo =
+            not
+              (List.exists
+                 (fun ((l' : Nest.loop), _) ->
+                   Expr.mentions l'.Nest.var loops.(k).Nest.lo)
+                 infos)
+          in
+          if invariant_lo then begin
+            if s = 0 then begin
+              ge_const 0;
+              le_const 0
+            end
+            else if s * step_sign > 0 then ge_const 1
+            else le_const (-1)
+          end)
       | _ -> ())
     sigma;
   (* subscript equalities, fully normalized *)
@@ -402,7 +491,7 @@ let lex_positive_sigmas n (pins : pin array) =
       let choices =
         match pins.(k) with
         | Exact d -> [ compare d 0 ]
-        | Unknown -> if any_nonzero then [ -1; 0; 1 ] else [ 0; 1 ]
+        | Unknown | Valued _ -> if any_nonzero then [ -1; 0; 1 ] else [ 0; 1 ]
       in
       List.iter
         (fun s ->
@@ -416,11 +505,22 @@ let lex_positive_sigmas n (pins : pin array) =
   go 0 false;
   !out
 
-let vector_of_sigma (pins : pin array) (sigma : int array) : Depvec.t =
+let vector_of_sigma infos (pins : pin array) (sigma : int array) : Depvec.t =
+  let step_signs =
+    Array.of_list
+      (List.map
+         (fun ((l : Nest.loop), _) ->
+           match Expr.to_int l.Nest.step with Some s -> compare s 0 | None -> 1)
+         infos)
+  in
   Array.mapi
     (fun k s ->
       match pins.(k) with
       | Exact d -> Depvec.dist d
+      | Valued q ->
+        (* the value difference is exactly [q], but never a step multiple,
+           so only the execution-direction-corrected sign is expressible *)
+        Depvec.dir (if q * step_signs.(k) > 0 then Dir.Pos else Dir.Neg)
       | Unknown ->
         if s = 0 then Depvec.dist 0
         else Depvec.dir (if s > 0 then Dir.Pos else Dir.Neg))
@@ -469,14 +569,20 @@ let pair_vectors infos n (a : ref_) (b : ref_) =
   else
     match
       let eqs = dim_equations infos a b in
-      let pins = screen_and_pin n eqs in
+      let pins = screen_and_pin infos n eqs in
       Some (eqs, pins)
     with
     | exception Independent -> []
     | None -> []
     | Some (eqs, pins) ->
+      (* Residual equations are sound only at the value level (their
+         screens already ran); hide them from the counter-space interval
+         test. *)
+      let eqs =
+        List.map (fun eq -> if eq.residual then { eq with ok = false } else eq) eqs
+      in
       let pin_in_range k = function
-        | Unknown -> true
+        | Unknown | Valued _ -> true
         | Exact d -> (
           match (List.nth infos k |> snd).count with
           | Some c -> abs d <= c - 1
@@ -504,7 +610,7 @@ let pair_vectors infos n (a : ref_) (b : ref_) =
               && not (non_rectangular && fm_refutes infos pins eqs a b sigma))
             (lex_positive_sigmas n pins)
         in
-        merge_pass (List.map (vector_of_sigma pins) sigmas)
+        merge_pass (List.map (vector_of_sigma infos pins) sigmas)
 
 let dependences (nest : Nest.t) =
   let infos = loop_infos nest in
@@ -548,13 +654,19 @@ let zero_feasible infos n a b =
   &&
   match
     let eqs = dim_equations infos a b in
-    let pins = screen_and_pin n eqs in
+    let pins = screen_and_pin infos n eqs in
     (eqs, pins)
   with
   | exception Independent -> false
   | eqs, pins ->
-    Array.for_all (function Unknown | Exact 0 -> true | Exact _ -> false) pins
-    && sigma_feasible infos pins eqs (Array.make n 0)
+    (* A [Valued] pin means the value difference is nonzero, so the two
+       references never collide in the same iteration. *)
+    Array.for_all
+      (function Unknown | Exact 0 -> true | Exact _ | Valued _ -> false)
+      pins
+    && sigma_feasible infos pins
+         (List.map (fun eq -> if eq.residual then { eq with ok = false } else eq) eqs)
+         (Array.make n 0)
 
 (* Lex-positive (carried) conflict from [a]'s iteration to a later
    iteration of [b]? *)

@@ -35,6 +35,15 @@ let command ~n line words =
     if Array.length perm <> n then
       fail line "permute needs %d positions, got %d" n (Array.length perm);
     Template.reverse_permute ~rev:(Array.make n false) ~perm
+  | "revperm" :: args ->
+    (* General Reverse_permute: n reversal flags (0/1) then n positions. *)
+    let args = Array.of_list (List.map (int_arg line) args) in
+    if Array.length args <> 2 * n then
+      fail line "revperm needs %d flags + %d positions, got %d entries" n n
+        (Array.length args);
+    let rev = Array.init n (fun k -> args.(k) <> 0) in
+    let perm = Array.init n (fun k -> args.(n + k)) in
+    Template.reverse_permute ~rev ~perm
   | [ "skew"; src; dst; factor ] ->
     Template.skew ~n ~src:(int_arg line src) ~dst:(int_arg line dst)
       ~factor:(int_arg line factor)
@@ -87,3 +96,45 @@ let parse ~depth src =
     |> fun (lineno, (n, acc)) -> ((lineno, n), acc)
   in
   List.rev rev_seq
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Inverse of [parse]: a textual script that reparses to the same
+   sequence. Every template has an exact spelling ([revperm] carries both
+   the reversal mask and the permutation), so reproducers round-trip. *)
+let of_template (t : Template.t) =
+  let ints xs = String.concat " " (List.map string_of_int xs) in
+  match t with
+  | Template.Unimodular { n; m } ->
+    "unimodular "
+    ^ ints
+        (List.concat_map Fun.id
+           (List.init n (fun i ->
+                List.init n (fun j -> Itf_mat.Intmat.get m i j))))
+  | Template.Reverse_permute { n; rev; perm } ->
+    if Array.exists Fun.id rev then
+      "revperm "
+      ^ ints
+          (List.init n (fun k -> if rev.(k) then 1 else 0)
+          @ Array.to_list perm)
+    else "permute " ^ ints (Array.to_list perm)
+  | Template.Parallelize { n; parflag } ->
+    let ks =
+      List.filter (fun k -> parflag.(k)) (List.init n Fun.id)
+    in
+    if ks = [] then
+      invalid_arg "Script.of_template: identity parallelize has no spelling"
+    else "parallelize " ^ ints ks
+  | Template.Block { i; j; bsize; _ } ->
+    Printf.sprintf "block %d %d %s" i j
+      (String.concat " "
+         (List.map Itf_ir.Expr.to_string (Array.to_list bsize)))
+  | Template.Coalesce { i; j; _ } -> Printf.sprintf "coalesce %d %d" i j
+  | Template.Interleave { i; j; isize; _ } ->
+    Printf.sprintf "interleave %d %d %s" i j
+      (String.concat " "
+         (List.map Itf_ir.Expr.to_string (Array.to_list isize)))
+
+let of_sequence seq = String.concat "\n" (List.map of_template seq)

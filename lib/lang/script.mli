@@ -17,6 +17,7 @@
     - [interchange A B]
     - [reversal K]
     - [permute P0 P1 ... Pn-1]  (loop k moves to position Pk)
+    - [revperm B0 ... Bn-1 P0 ... Pn-1]  (reversal flags, then positions)
     - [skew SRC DST FACTOR]
     - [unimodular R00 R01 ... ]  (n*n row-major integers)
     - [parallelize K1 [K2 ...]]
@@ -32,3 +33,13 @@ exception Error of { line : int; message : string }
 val parse : depth:int -> string -> Itf_core.Sequence.t
 (** @raise Error on unknown commands, arity mismatches, or a sequence that
     does not chain from [depth]. *)
+
+val of_template : Itf_core.Template.t -> string
+(** One script line that reparses to the template.
+    @raise Invalid_argument on an identity [Parallelize] (the script
+    grammar has no spelling for it). *)
+
+val of_sequence : Itf_core.Sequence.t -> string
+(** A textual script (one command per line) such that
+    [parse ~depth (of_sequence seq) = seq] — the writer behind the fuzz
+    harness's replayable reproducers. *)
