@@ -19,6 +19,17 @@ module Depvec = Itf_dep.Depvec
 module Intmat = Itf_mat.Intmat
 module Cache = Itf_machine.Cache
 module Memsim = Itf_machine.Memsim
+module Json = Itf_obs.Json
+module Tracer = Itf_obs.Tracer
+
+(* Every BENCH_*.json this harness writes is versioned: bump "schema" when
+   a field changes meaning so downstream comparisons refuse stale files. *)
+let write_bench_json path fields =
+  let oc = open_out path in
+  output_string oc (Json.to_string (Json.Obj (("schema", Json.Int 2) :: fields)));
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." path
 
 let section name =
   Format.printf "@.================================================================@.";
@@ -731,26 +742,28 @@ let search_bench () =
              par %.2fx | same winner: %b@."
             name old_t old_.Search.checked_templates seq_t apps reduction par_t
             (old_t /. seq_t) (old_t /. par_t) same_winner;
-          Printf.sprintf
-            "{\"name\": %S, \"steps\": %d, \"old_time_s\": %.6f, \
-             \"old_template_applications\": %d, \"old_explored\": %d, \
-             \"new_seq_time_s\": %.6f, \"new_par_time_s\": %.6f, \
-             \"speedup_seq\": %.3f, \"speedup_par\": %.3f, \
-             \"template_reduction\": %.3f, \"same_winner\": %b, \
-             \"stats_seq\": %s, \"stats_par\": %s}"
-            name steps old_t old_.Search.checked_templates old_.Search.explored
-            seq_t par_t (old_t /. seq_t) (old_t /. par_t) reduction same_winner
-            (Itf_opt.Stats.to_json stats)
-            (Itf_opt.Stats.to_json par_.Engine.stats)
+          Json.Obj
+            [
+              ("name", Json.String name);
+              ("steps", Json.Int steps);
+              ("old_time_s", Json.Float old_t);
+              ( "old_template_applications",
+                Json.Int old_.Search.checked_templates );
+              ("old_explored", Json.Int old_.Search.explored);
+              ("new_seq_time_s", Json.Float seq_t);
+              ("new_par_time_s", Json.Float par_t);
+              ("speedup_seq", Json.Float (old_t /. seq_t));
+              ("speedup_par", Json.Float (old_t /. par_t));
+              ("template_reduction", Json.Float reduction);
+              ("same_winner", Json.Bool same_winner);
+              ("stats_seq", Itf_opt.Stats.to_json_value stats);
+              ("stats_par", Itf_opt.Stats.to_json_value par_.Engine.stats);
+            ]
         | _ -> failwith (name ^ ": a search returned nothing"))
       cases
   in
-  let oc = open_out "BENCH_search.json" in
-  output_string oc
-    (Printf.sprintf "{\"domains_par\": %d, \"cases\": [%s]}\n" par_domains
-       (String.concat ", " jsons));
-  close_out oc;
-  Format.printf "wrote BENCH_search.json@."
+  write_bench_json "BENCH_search.json"
+    [ ("domains_par", Json.Int par_domains); ("cases", Json.List jsons) ]
 
 (* ------------------------------------------------------------------ *)
 (* EXP-SIM: compiled execution backend vs tree-walking interpreter     *)
@@ -828,31 +841,49 @@ let sim_bench () =
           rate (fun () -> ignore (Memsim.run_compiled cache_cfg env nest))
         in
         let memsim_speedup = memsimc_rps /. memsim_rps in
+        (* The observability tax on the objective hot path: same Memsim
+           call under an active ambient tracer (fresh per call so the
+           span buffer never grows without bound). The default — a null
+           tracer — must cost nothing: memsimc_rps above IS the
+           null-tracer rate. *)
+        let memsimc_traced_rps =
+          rate (fun () ->
+              let tr = Tracer.create () in
+              Tracer.with_ambient tr (fun () ->
+                  ignore (Memsim.run_compiled cache_cfg env nest)))
+        in
+        let trace_overhead = (memsimc_rps /. memsimc_traced_rps) -. 1. in
         if compiled_rps < interp_rps then
           failwith (name ^ ": compiled backend slower than the interpreter");
         Format.printf "%-8s %12.0f %16.0f %16.0f %8.1fx %14.1f %14.1f %8.1fx@."
           name iters (interp_rps *. iters) (compiled_rps *. iters) speedup
           memsim_rps memsimc_rps memsim_speedup;
         Format.printf
-          "%-8s compile: %.0f us/compile (amortized over %.0f iterations/run)@."
-          "" (compile_s *. 1e6) iters;
-        Printf.sprintf
-          "{\"name\": %S, \"n\": %d, \"inner_iterations\": %.0f, \
-           \"interp_runs_per_s\": %.3f, \"compiled_runs_per_s\": %.3f, \
-           \"interp_iters_per_s\": %.0f, \"compiled_iters_per_s\": %.0f, \
-           \"speedup\": %.3f, \"compile_time_us\": %.3f, \
-           \"memsim_runs_per_s\": %.3f, \"memsim_compiled_runs_per_s\": %.3f, \
-           \"memsim_speedup\": %.3f, \"backends_agree\": true}"
-          name n iters interp_rps compiled_rps (interp_rps *. iters)
-          (compiled_rps *. iters) speedup (compile_s *. 1e6) memsim_rps
-          memsimc_rps memsim_speedup)
+          "%-8s compile: %.0f us/compile (amortized over %.0f iterations/run); \
+           active tracer: %.1f runs/s (%.1f%% overhead)@."
+          "" (compile_s *. 1e6) iters memsimc_traced_rps
+          (100. *. trace_overhead);
+        Json.Obj
+          [
+            ("name", Json.String name);
+            ("n", Json.Int n);
+            ("inner_iterations", Json.Float iters);
+            ("interp_runs_per_s", Json.Float interp_rps);
+            ("compiled_runs_per_s", Json.Float compiled_rps);
+            ("interp_iters_per_s", Json.Float (interp_rps *. iters));
+            ("compiled_iters_per_s", Json.Float (compiled_rps *. iters));
+            ("speedup", Json.Float speedup);
+            ("compile_time_us", Json.Float (compile_s *. 1e6));
+            ("memsim_runs_per_s", Json.Float memsim_rps);
+            ("memsim_compiled_runs_per_s", Json.Float memsimc_rps);
+            ("memsim_compiled_traced_runs_per_s", Json.Float memsimc_traced_rps);
+            ("trace_overhead", Json.Float trace_overhead);
+            ("memsim_speedup", Json.Float memsim_speedup);
+            ("backends_agree", Json.Bool true);
+          ])
       cases
   in
-  let oc = open_out "BENCH_sim.json" in
-  output_string oc
-    (Printf.sprintf "{\"cases\": [%s]}\n" (String.concat ", " jsons));
-  close_out oc;
-  Format.printf "wrote BENCH_sim.json@."
+  write_bench_json "BENCH_sim.json" [ ("cases", Json.List jsons) ]
 
 let () =
   if Array.exists (( = ) "--search") Sys.argv then begin

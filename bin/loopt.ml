@@ -7,7 +7,9 @@
      loopt run NEST.loop --param n=8       interpret a nest and checksum it
      loopt emit NEST.loop [-s SCRIPT]      emit a standalone C program
      loopt distribute NEST.loop            Allen-Kennedy loop distribution
-     loopt trace NEST.loop [-s SCRIPT]     print the iteration-order grid *)
+     loopt trace NEST.loop [-s SCRIPT]     print the iteration-order grid
+     loopt fuzz ...                        differential fuzzing harness
+     loopt report TRACE [--metrics FILE]   summarize --trace-out/--metrics-out *)
 
 open Cmdliner
 module Nest = Itf_ir.Nest
@@ -186,27 +188,60 @@ let apply_cmd =
 (* optimize                                                            *)
 (* ------------------------------------------------------------------ *)
 
+let write_text_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let write_trace tracer = function
+  | None -> ()
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> Itf_obs.Tracer.write_jsonl oc (Itf_obs.Tracer.roots tracer))
+
+let write_metrics metrics = function
+  | None -> ()
+  | Some path -> (
+    match metrics with
+    | None -> ()
+    | Some m ->
+      write_text_file path (Itf_obs.Json.to_string (Itf_obs.Metrics.dump m) ^ "\n"))
+
 let optimize_cmd =
-  let run nest_path objective params procs steps domains show_stats =
+  let run nest_path objective params procs steps domains show_stats stats_json
+      explain trace_out metrics_out =
     match parse_nest_file nest_path with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
     | Ok prog -> (
       let nest = prog.Itf_lang.Parser.nest in
+      let tracer =
+        if trace_out = None then Itf_obs.Tracer.null
+        else Itf_obs.Tracer.create ()
+      in
+      let metrics =
+        if metrics_out = None then None else Some (Itf_obs.Metrics.create ())
+      in
       let obj =
         match objective with
-        | "locality" -> Itf_opt.Search.cache_misses ~params ()
-        | "parallel" -> Itf_opt.Search.parallel_time ~procs ~params ()
+        | "locality" -> Itf_opt.Search.cache_misses ?metrics ~params ()
+        | "parallel" -> Itf_opt.Search.parallel_time ?metrics ~procs ~params ()
         | other ->
           Printf.eprintf "error: unknown objective %s (use locality|parallel)\n" other;
           exit 1
       in
-      match Itf_opt.Engine.search ~steps ?domains nest obj with
+      match
+        Itf_opt.Engine.search ~steps ?domains ~tracer ?metrics
+          ~provenance:explain nest obj
+      with
       | None ->
         Printf.eprintf "error: nest could not be scored\n";
         1
-      | Some { Itf_opt.Engine.sequence; result; score; stats; _ } ->
+      | Some { Itf_opt.Engine.sequence; result; score; stats; rejections; _ } ->
         Format.printf "explored %d candidate sequences@."
           stats.Itf_opt.Stats.nodes_explored;
         Format.printf "== best sequence (score %.1f) ==@." score;
@@ -214,8 +249,20 @@ let optimize_cmd =
         else Format.printf "%a@." Itf_core.Sequence.pp sequence;
         Format.printf "== transformed nest ==@.%a@." Nest.pp
           result.Itf_core.Framework.nest;
+        if explain then begin
+          Format.printf "== rejected candidates (%d) ==@."
+            (List.length rejections);
+          List.iter
+            (fun { Itf_opt.Engine.candidate; cause } ->
+              Format.printf "@[<hov 2>%a:@ %a@]@." Itf_core.Sequence.pp
+                candidate Itf_opt.Engine.pp_cause cause)
+            rejections
+        end;
         if show_stats then
           Format.printf "== search stats ==@.%a@." Itf_opt.Stats.pp stats;
+        if stats_json then print_endline (Itf_opt.Stats.to_json stats);
+        write_trace tracer trace_out;
+        write_metrics metrics metrics_out;
         0)
   in
   let objective =
@@ -243,9 +290,40 @@ let optimize_cmd =
   let show_stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search instrumentation (cache hits, saved template applications, timings).")
   in
+  let stats_json =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:"Print the search instrumentation as one JSON object on stdout.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "List every candidate the search rejected with its structured \
+             reason (failed bounds precondition, lexicographically negative \
+             dependence vector, unscoreable objective).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record the search's span trace as JSON lines into FILE (see 'loopt report').")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Dump the metrics registry (rejection counters, simulator counters, engine stats) as JSON into FILE.")
+  in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Search for a legal transformation sequence minimizing an objective.")
-    Term.(const run $ nest_arg $ objective $ params_arg $ procs $ steps $ domains $ show_stats)
+    Term.(
+      const run $ nest_arg $ objective $ params_arg $ procs $ steps $ domains
+      $ show_stats $ stats_json $ explain $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -507,7 +585,8 @@ let trace_cmd =
 (* ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
-  let run seed budget backends corpus out no_shrink memsim verbose =
+  let run seed budget backends corpus out no_shrink memsim verbose trace_out
+      metrics_out =
     let backends =
       match backends with
       | [] -> [ `Interp; `Compiled ]
@@ -558,10 +637,18 @@ let fuzz_cmd =
               Printf.eprintf "... %d cases\n%!" (index + 1))
       else None
     in
+    let tracer =
+      if trace_out = None then Itf_obs.Tracer.null else Itf_obs.Tracer.create ()
+    in
+    let metrics =
+      if metrics_out = None then None else Some (Itf_obs.Metrics.create ())
+    in
     let report =
       Itf_check.Harness.fuzz ~backends ~check_memsim:memsim
-        ~shrink:(not no_shrink) ?on_case ~seed ~budget ()
+        ~shrink:(not no_shrink) ?on_case ~tracer ?metrics ~seed ~budget ()
     in
+    write_trace tracer trace_out;
+    write_metrics metrics metrics_out;
     Format.printf "%a" Itf_check.Harness.pp_report report;
     List.iter
       (fun (f : Itf_check.Harness.failure) ->
@@ -623,6 +710,20 @@ let fuzz_cmd =
           ~doc:"Also cross-check the two cache-simulation execution paths.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Progress output.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record one span per fuzz case as JSON lines into FILE.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Dump per-outcome case counters as JSON into FILE.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -631,7 +732,85 @@ let fuzz_cmd =
           and report any divergence.")
     Term.(
       const run $ seed $ budget $ backends $ corpus $ out $ no_shrink $ memsim
-      $ verbose)
+      $ verbose $ trace_out $ metrics_out)
+
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let run trace metrics counters =
+    if trace = None && metrics = None then begin
+      Printf.eprintf
+        "error: nothing to report (give a trace file and/or --metrics)\n";
+      2
+    end
+    else begin
+      let rc = ref 0 in
+      (match trace with
+      | None -> ()
+      | Some path -> (
+        match String.split_on_char '\n' (read_file path) with
+        | exception Sys_error e ->
+          Printf.eprintf "error: %s\n" e;
+          rc := 1
+        | lines -> (
+          (match Itf_obs.Report.of_lines lines with
+          | Error e ->
+            Printf.eprintf "error: %s: %s\n" path e;
+            rc := 1
+          | Ok rows ->
+            Format.printf "== spans (%s) ==@.%a" path Itf_obs.Report.pp rows);
+          if counters && !rc = 0 then
+            match Itf_obs.Report.counters lines with
+            | Error e ->
+              Printf.eprintf "error: %s: %s\n" path e;
+              rc := 1
+            | Ok cs ->
+              Format.printf "== trace counters ==@.";
+              List.iter (fun (k, v) -> Format.printf "%s %d@." k v) cs)));
+      (match metrics with
+      | None -> ()
+      | Some path -> (
+        match Itf_obs.Json.of_string (String.trim (read_file path)) with
+        | exception Sys_error e ->
+          Printf.eprintf "error: %s\n" e;
+          rc := 1
+        | Error e ->
+          Printf.eprintf "error: %s: %s\n" path e;
+          rc := 1
+        | Ok doc ->
+          Format.printf "== metrics (%s) ==@.%a" path
+            Itf_obs.Report.pp_metrics_file doc));
+      !rc
+    end
+  in
+  let trace =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSON-lines span trace written by --trace-out.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Metrics dump written by --metrics-out.")
+  in
+  let counters =
+    Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:"Also sum the integer span attributes across the trace.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize observability artifacts: per-span time aggregates from a \
+          trace, and/or a metrics dump rendered as a table.")
+    Term.(const run $ trace $ metrics $ counters)
 
 let () =
   let doc = "iteration-reordering loop transformation framework (PLDI'92 reproduction)" in
@@ -640,5 +819,5 @@ let () =
        (Cmd.group (Cmd.info "loopt" ~doc)
           [
             show_cmd; apply_cmd; optimize_cmd; run_cmd; emit_cmd;
-            distribute_cmd; trace_cmd; fuzz_cmd;
+            distribute_cmd; trace_cmd; fuzz_cmd; report_cmd;
           ]))

@@ -67,7 +67,16 @@ let run_one ?backends ?check_memsim ?(shrink = true) ~index (c : Gen.case) =
     (outcome, Some { index; case = c; shrunk; divergences })
   | _ -> (outcome, None)
 
-let fuzz ?backends ?check_memsim ?(shrink = true) ?on_case ~seed ~budget () =
+let outcome_label = function
+  | Oracle.Ok_equivalent -> "ok"
+  | Oracle.Rejected_bounds -> "rejected-bounds"
+  | Oracle.Rejected_dependence `Confirmed -> "rejected-dependence-confirmed"
+  | Oracle.Rejected_dependence `Unconfirmed -> "rejected-dependence-unconfirmed"
+  | Oracle.Skipped _ -> "skipped"
+  | Oracle.Diverged _ -> "diverged"
+
+let fuzz ?backends ?check_memsim ?(shrink = true) ?on_case
+    ?(tracer = Itf_obs.Tracer.null) ?metrics ~seed ~budget () =
   let st = Random.State.make [| seed |] in
   let r =
     ref
@@ -84,7 +93,25 @@ let fuzz ?backends ?check_memsim ?(shrink = true) ?on_case ~seed ~budget () =
   in
   for index = 0 to budget - 1 do
     let case = Gen.case st in
-    let outcome, failure = run_one ?backends ?check_memsim ~shrink ~index case in
+    let outcome, failure =
+      Itf_obs.Tracer.span tracer "fuzz.case"
+        ~attrs:(fun () -> [ ("index", Itf_obs.Tracer.Int index) ])
+        (fun () ->
+          let ((outcome, _) as r) =
+            Itf_obs.Tracer.with_ambient tracer (fun () ->
+                run_one ?backends ?check_memsim ~shrink ~index case)
+          in
+          Itf_obs.Tracer.add_attrs tracer
+            [ ("outcome", Itf_obs.Tracer.String (outcome_label outcome)) ];
+          r)
+    in
+    (match metrics with
+    | None -> ()
+    | Some m ->
+      Itf_obs.Metrics.incr
+        (Itf_obs.Metrics.counter m
+           ~labels:[ ("outcome", outcome_label outcome) ]
+           "fuzz.cases"));
     let c = !r in
     let c = { c with cases = c.cases + 1 } in
     let c =

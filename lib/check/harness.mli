@@ -29,12 +29,17 @@ val fuzz :
   ?check_memsim:bool ->
   ?shrink:bool ->
   ?on_case:(index:int -> outcome:Oracle.outcome -> unit) ->
+  ?tracer:Itf_obs.Tracer.t ->
+  ?metrics:Itf_obs.Metrics.t ->
   seed:int ->
   budget:int ->
   unit ->
   report
 (** Run [budget] cases from [seed]. Deterministic for fixed arguments
-    (modulo the [`C] leg's availability of a compiler). *)
+    (modulo the [`C] leg's availability of a compiler). [tracer] records
+    one [fuzz.case] span per case (with its oracle outcome as an
+    attribute; simulator spans nest below via the ambient tracer);
+    [metrics] accumulates [fuzz.cases{outcome=...}] counters. *)
 
 val replay :
   ?backends:Oracle.backend list ->

@@ -1,9 +1,44 @@
 module Bmat = Itf_bounds.Bmat
 module Btype = Itf_bounds.Btype
 
-type violation = { template : string; message : string }
+type reason =
+  | Depth_mismatch of { expected : int; actual : int }
+  | Bound_type_exceeds of {
+      which : Bmat.which;
+      loop : int;
+      wrt : int;
+      var : string;
+      ty : Btype.t;
+      limit : Btype.t;
+    }
+  | Non_constant_step of { loop : int }
+  | Codegen_rejected of { message : string }
+  | Unbounded_space of { direction : string }
+
+type violation = { template : string; reason : reason }
 
 let which_name = function Bmat.L -> "lower" | Bmat.U -> "upper" | Bmat.S -> "step"
+
+let message v =
+  match v.reason with
+  | Depth_mismatch { expected; actual } ->
+    Printf.sprintf "template expects a %d-deep nest but the nest is %d deep"
+      expected actual
+  | Bound_type_exceeds { which; loop; var; ty; limit; _ } ->
+    Format.asprintf "type(%s bound of loop %d, %s) = %a but must be <= %a"
+      (which_name which) loop var Btype.pp ty Btype.pp limit
+  | Non_constant_step { loop } ->
+    Printf.sprintf "step of loop %d is not a compile-time constant" loop
+  | Codegen_rejected { message } -> "code generation rejected the nest: " ^ message
+  | Unbounded_space { direction } ->
+    "transformed iteration space unbounded in " ^ direction
+
+let reason_label = function
+  | Depth_mismatch _ -> "depth-mismatch"
+  | Bound_type_exceeds _ -> "bound-type"
+  | Non_constant_step _ -> "non-constant-step"
+  | Codegen_rejected _ -> "codegen-rejected"
+  | Unbounded_space _ -> "unbounded"
 
 (* Require type(bound_m, x_k) <= limit for the given bounds of loops in
    [loops] with respect to variables of loops in [wrts] (positions). *)
@@ -22,12 +57,16 @@ let require bm template limit whichs ~loops ~wrts =
                   Some
                     {
                       template;
-                      message =
-                        Format.asprintf
-                          "type(%s bound of loop %d, %s) = %a but must be <= %a"
-                          (which_name w) m
-                          bm.Bmat.vars.(k)
-                          Btype.pp ty Btype.pp limit;
+                      reason =
+                        Bound_type_exceeds
+                          {
+                            which = w;
+                            loop = m;
+                            wrt = k;
+                            var = bm.Bmat.vars.(k);
+                            ty;
+                            limit;
+                          };
                     })
               whichs)
         wrts)
@@ -39,13 +78,7 @@ let require_const_steps bm template loops =
     (fun m ->
       match Itf_ir.Expr.to_int (Bmat.step_expr bm m) with
       | Some _ -> None
-      | None ->
-        Some
-          {
-            template;
-            message =
-              Printf.sprintf "step of loop %d is not a compile-time constant" m;
-          })
+      | None -> Some { template; reason = Non_constant_step { loop = m } })
     loops
 
 let range a b = List.init (max 0 (b - a + 1)) (fun k -> a + k)
@@ -56,9 +89,8 @@ let check bm (t : Template.t) =
     [
       {
         template = Template.name t;
-        message =
-          Printf.sprintf "template expects a %d-deep nest but the nest is %d deep"
-            (Template.input_depth t) n;
+        reason =
+          Depth_mismatch { expected = Template.input_depth t; actual = n };
       };
     ]
   else
@@ -97,5 +129,4 @@ let check bm (t : Template.t) =
         ~wrts:(range i j)
       @ require_const_steps bm name (range i j)
 
-let pp_violation ppf v =
-  Format.fprintf ppf "[%s] %s" v.template v.message
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.template (message v)

@@ -112,7 +112,7 @@ let check ?count ?vectors nest (seq : Sequence.t) =
                 [
                   {
                     Boundsmap.template = Template.name t;
-                    message = "code generation rejected the nest: " ^ msg;
+                    reason = Boundsmap.Codegen_rejected { message = msg };
                   };
                 ];
             }
@@ -124,7 +124,7 @@ let check ?count ?vectors nest (seq : Sequence.t) =
                 [
                   {
                     Boundsmap.template = Template.name t;
-                    message = "transformed iteration space unbounded in " ^ what;
+                    reason = Boundsmap.Unbounded_space { direction = what };
                   };
                 ];
             }))
@@ -264,7 +264,7 @@ let extend ?count st (t : Template.t) =
                  [
                    {
                      Boundsmap.template = Template.name t;
-                     message = "code generation rejected the nest: " ^ msg;
+                     reason = Boundsmap.Codegen_rejected { message = msg };
                    };
                  ];
              })
@@ -277,10 +277,32 @@ let extend ?count st (t : Template.t) =
                  [
                    {
                      Boundsmap.template = Template.name t;
-                     message = "transformed iteration space unbounded in " ^ what;
+                     reason = Boundsmap.Unbounded_space { direction = what };
                    };
                  ];
              })))
+
+type reason =
+  | Precondition of { index : int; violation : Boundsmap.violation }
+  | Lex_negative of { vector : Depvec.t }
+
+let reasons = function
+  | Legal _ -> []
+  | Bounds_violation { index; violations } ->
+    List.map (fun violation -> Precondition { index; violation }) violations
+  | Dependence_violation { vector } -> [ Lex_negative { vector } ]
+
+let reason_label = function
+  | Precondition { violation; _ } -> Boundsmap.reason_label violation.Boundsmap.reason
+  | Lex_negative _ -> "lex-negative"
+
+let pp_reason ppf = function
+  | Precondition { index; violation } ->
+    Format.fprintf ppf "step %d: %a" index Boundsmap.pp_violation violation
+  | Lex_negative { vector } ->
+    Format.fprintf ppf
+      "transformed vector %a admits a lexicographically negative tuple"
+      Depvec.pp vector
 
 let pp_verdict ppf = function
   | Legal { vectors; _ } ->

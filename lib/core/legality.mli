@@ -51,6 +51,32 @@ val is_legal : ?vectors:Itf_dep.Depvec.t list -> Itf_ir.Nest.t -> Sequence.t -> 
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** {1 Decision provenance}
+
+    A rejection {!reason} is the structured form of a non-[Legal] verdict —
+    the part an observability layer records and a user-facing [--explain]
+    table prints. Bounds rejections reuse {!Boundsmap.reason} verbatim;
+    the dependence test contributes its own constructor carrying the
+    offending vector. *)
+
+type reason =
+  | Precondition of { index : int; violation : Boundsmap.violation }
+      (** A per-stage bounds/codegen precondition failed at sequence
+          position [index]. *)
+  | Lex_negative of { vector : Itf_dep.Depvec.t }
+      (** The final mapped vector set admits a lexicographically negative
+          tuple (paper Section 3.2's test fails). *)
+
+val reasons : verdict -> reason list
+(** [[]] iff the verdict is [Legal]. *)
+
+val reason_label : reason -> string
+(** Stable low-cardinality slug for metric labels: delegates to
+    {!Boundsmap.reason_label} for preconditions, ["lex-negative"] for the
+    dependence test. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
 (** {1 Resumable prefix states}
 
     Search engines grow candidate sequences one template at a time. A

@@ -3,7 +3,9 @@ open Itf_ir
 let ascii_order env (nest : Nest.t) =
   let depth = Nest.depth nest in
   if depth < 1 || depth > 2 then
-    invalid_arg "Trace.ascii_order: only 1- or 2-deep nests";
+    invalid_arg
+      (Printf.sprintf
+         "Trace.ascii_order: only 1- or 2-deep nests (nest is %d deep)" depth);
   let order = Interp.iteration_order env nest in
   if order = [] then invalid_arg "Trace.ascii_order: empty iteration space";
   let order =

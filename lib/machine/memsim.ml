@@ -35,7 +35,23 @@ let finish ~hit_cost ~miss_penalty cache =
     cycles = (stats.Cache.accesses * hit_cost) + (stats.Cache.misses * miss_penalty);
   }
 
+(* Spans attach to the caller's ambient tracer (null unless the caller —
+   e.g. the search engine's per-candidate worker — installed one), so the
+   simulators show up in a trace without threading a tracer through the
+   [Search.objective] type. *)
+let traced name f =
+  let tr = Itf_obs.Tracer.ambient () in
+  Itf_obs.Tracer.span tr name (fun () ->
+      let r = f tr in
+      Itf_obs.Tracer.add_attrs tr
+        [
+          ("accesses", Itf_obs.Tracer.Int r.cache.Cache.accesses);
+          ("misses", Itf_obs.Tracer.Int r.cache.Cache.misses);
+        ];
+      r)
+
 let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
+  traced "memsim.run" @@ fun _tr ->
   let cache = Cache.create config in
   let bases = layout ~elem_bytes config env nest in
   (* The tracer fires per element access; memoize the last array's base so
@@ -62,17 +78,19 @@ let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
 
 let run_compiled ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config
     env nest =
+  traced "memsim.run" @@ fun tr ->
   let cache = Cache.create config in
   let bases = layout ~elem_bytes config env nest in
   let compiled =
-    Itf_exec.Compile.compile
-      ~addr:
-        {
-          Itf_exec.Compile.base_of = base_of bases;
-          elem_bytes;
-          touch = (fun a -> ignore (Cache.access cache a));
-        }
-      env nest
+    Itf_obs.Tracer.span tr "memsim.compile" (fun () ->
+        Itf_exec.Compile.compile
+          ~addr:
+            {
+              Itf_exec.Compile.base_of = base_of bases;
+              elem_bytes;
+              touch = (fun a -> ignore (Cache.access cache a));
+            }
+          env nest)
   in
   Itf_exec.Compile.run compiled;
   finish ~hit_cost ~miss_penalty cache

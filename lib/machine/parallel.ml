@@ -22,8 +22,17 @@ let rec stmt_ops = function
 let body_cost (nest : Nest.t) =
   max 1 (List.fold_left (fun acc s -> acc + stmt_ops s) 0 (nest.Nest.inits @ nest.Nest.body))
 
+(* Like {!Memsim.traced}: span on the caller's ambient tracer. *)
+let traced f =
+  let tr = Itf_obs.Tracer.ambient () in
+  Itf_obs.Tracer.span tr "parsim.run" (fun () ->
+      let t = f () in
+      Itf_obs.Tracer.add_attrs tr [ ("time", Itf_obs.Tracer.Float t) ];
+      t)
+
 let time ?(spawn_overhead = 2.0) ~procs env (nest : Nest.t) =
   if procs < 1 then invalid_arg "Parallel.time: procs < 1";
+  traced @@ fun () ->
   let unit_cost = float (body_cost nest) in
   let rec go = function
     | [] -> unit_cost
@@ -55,6 +64,7 @@ let time ?(spawn_overhead = 2.0) ~procs env (nest : Nest.t) =
    [time] operation for operation, so the returned float is identical. *)
 let time_compiled ?(spawn_overhead = 2.0) ~procs env (nest : Nest.t) =
   if procs < 1 then invalid_arg "Parallel.time: procs < 1";
+  traced @@ fun () ->
   let unit_cost = float (body_cost nest) in
   let c = Itf_exec.Compile.compile env nest in
   Itf_exec.Compile.sync c;

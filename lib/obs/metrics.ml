@@ -1,0 +1,165 @@
+type histo = { buckets : float array; counts : int Atomic.t array }
+(* [counts] has one slot per bucket bound plus an overflow slot. *)
+
+type instrument =
+  | Counter of int Atomic.t
+  | Gauge of float Atomic.t
+  | Histogram of histo
+
+type key = { name : string; labels : (string * string) list }
+
+type t = { mutex : Mutex.t; tbl : (key, instrument) Hashtbl.t }
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
+type histogram = histo
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 32 }
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create t ?(labels = []) name make =
+  let key = { name; labels = normalize_labels labels } in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some i -> i
+      | None ->
+        let i = make () in
+        Hashtbl.add t.tbl key i;
+        i)
+
+let counter t ?labels name =
+  match find_or_create t ?labels name (fun () -> Counter (Atomic.make 0)) with
+  | Counter c -> c
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.counter: %s is already a %s" name
+         (kind_name other))
+
+let gauge t ?labels name =
+  match find_or_create t ?labels name (fun () -> Gauge (Atomic.make 0.)) with
+  | Gauge g -> g
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.gauge: %s is already a %s" name (kind_name other))
+
+let default_buckets =
+  [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
+
+let histogram t ?labels ?(buckets = default_buckets) name =
+  match
+    find_or_create t ?labels name (fun () ->
+        Histogram
+          {
+            buckets = Array.copy buckets;
+            counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          })
+  with
+  | Histogram h -> h
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Metrics.histogram: %s is already a %s" name
+         (kind_name other))
+
+let incr c = Atomic.incr c
+
+let add c by = ignore (Atomic.fetch_and_add c by)
+
+let counter_value c = Atomic.get c
+
+let set g x = Atomic.set g x
+let gauge_value g = Atomic.get g
+
+let observe h x =
+  let n = Array.length h.buckets in
+  let rec go i = if i >= n then n else if x <= h.buckets.(i) then i else go (i + 1) in
+  Atomic.incr h.counts.(go 0)
+
+let entries t =
+  Mutex.lock t.mutex;
+  let xs =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.mutex)
+      (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
+  in
+  List.sort
+    (fun (a, _) (b, _) ->
+      let c = String.compare a.name b.name in
+      if c <> 0 then c else compare a.labels b.labels)
+    xs
+
+let merge_into ~into src =
+  List.iter
+    (fun (key, i) ->
+      match i with
+      | Counter c ->
+        add (counter into ~labels:key.labels key.name) (Atomic.get c)
+      | Gauge g -> set (gauge into ~labels:key.labels key.name) (Atomic.get g)
+      | Histogram h ->
+        let dst =
+          histogram into ~labels:key.labels ~buckets:h.buckets key.name
+        in
+        if dst.buckets <> h.buckets then
+          invalid_arg
+            ("Metrics.merge_into: histogram bucket mismatch for " ^ key.name);
+        Array.iteri (fun k c -> add dst.counts.(k) (Atomic.get c)) h.counts)
+    (entries src)
+
+let dump t =
+  let metric (key, i) =
+    let base =
+      [
+        ("name", Json.String key.name);
+        ( "labels",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) key.labels) );
+        ("type", Json.String (kind_name i));
+      ]
+    in
+    let payload =
+      match i with
+      | Counter c -> [ ("value", Json.Int (Atomic.get c)) ]
+      | Gauge g -> [ ("value", Json.Float (Atomic.get g)) ]
+      | Histogram h ->
+        [
+          ("buckets", Json.List (Array.to_list (Array.map (fun b -> Json.Float b) h.buckets)));
+          ( "counts",
+            Json.List
+              (Array.to_list (Array.map (fun c -> Json.Int (Atomic.get c)) h.counts)) );
+        ]
+    in
+    Json.Obj (base @ payload)
+  in
+  Json.Obj
+    [
+      ("schema", Json.Int 1);
+      ("metrics", Json.List (List.map metric (entries t)));
+    ]
+
+let pp ppf t =
+  List.iter
+    (fun (key, i) ->
+      let labels =
+        if key.labels = [] then ""
+        else
+          "{"
+          ^ String.concat ","
+              (List.map (fun (k, v) -> k ^ "=" ^ v) key.labels)
+          ^ "}"
+      in
+      match i with
+      | Counter c ->
+        Format.fprintf ppf "%s%s %d@." key.name labels (Atomic.get c)
+      | Gauge g -> Format.fprintf ppf "%s%s %g@." key.name labels (Atomic.get g)
+      | Histogram h ->
+        let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts in
+        Format.fprintf ppf "%s%s count=%d@." key.name labels total)
+    (entries t)

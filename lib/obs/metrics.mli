@@ -1,0 +1,59 @@
+(** A registry of named counters, gauges and histograms.
+
+    Instruments are identified by a name plus an optional label set
+    (["legality.rejections" {reason=bound-type}]). Handles are
+    find-or-create: asking twice for the same (name, labels) returns the
+    same instrument, so independently-constructed components accumulate
+    into shared totals.
+
+    {b Multicore}: instrument {e updates} are atomic and commutative
+    (counter adds, histogram bucket increments), so totals are
+    deterministic regardless of domain scheduling; handle {e creation}
+    takes a registry lock and is safe from any domain. Gauges are
+    last-write-wins and should be set from one domain.
+
+    {b Determinism}: a histogram stores bucket counts only (no float sum),
+    precisely so that parallel and sequential runs of the same work dump
+    identical registries — float accumulation order would not commute. *)
+
+type t
+
+val create : unit -> t
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t -> ?labels:(string * string) list -> ?buckets:float array -> string -> histogram
+(** [buckets] are upper bounds of the counting buckets, sorted ascending;
+    an implicit overflow bucket is added. Default:
+    [1, 10, 100, 1e3, ..., 1e9]. Re-opening an existing histogram ignores
+    [buckets].
+    @raise Invalid_argument if the (name, labels) pair already names an
+    instrument of another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+(** Increment the first bucket whose upper bound is [>= x] (the overflow
+    bucket if none). *)
+
+val merge_into : into:t -> t -> unit
+(** Fold a registry into another: counters and histogram buckets add,
+    gauges overwrite. Histograms must have matching buckets. *)
+
+val dump : t -> Json.t
+(** Deterministic (sorted by name, then labels) machine-readable dump:
+    [{"schema": 1, "metrics": [{"name", "labels", "type", ...}, ...]}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One instrument per line, sorted: [name{k=v,...} value]. *)

@@ -1,0 +1,32 @@
+(** Rendering a JSONL span trace into a per-phase summary.
+
+    Reads the lines written by {!Tracer.write_jsonl}, rebuilds the span
+    forest, and aggregates per span name: invocation count, total
+    (inclusive) time, self time (total minus the children's totals), and
+    min/max durations. This is the engine behind [loopt report]. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  min_s : float;
+  max_s : float;
+}
+
+val of_lines : string list -> (row list, string) result
+(** Aggregate parsed spans per name, sorted by total time descending.
+    Blank lines are skipped; a malformed line is an error naming its
+    (1-based) position. *)
+
+val counters : string list -> ((string * int) list, string) result
+(** Sum every integer attribute across spans, keyed
+    ["span-name.attr-name"] and sorted — the trace-derived counter view
+    (boolean/string/float attributes are ignored). *)
+
+val pp : Format.formatter -> row list -> unit
+(** Fixed-width table. *)
+
+val pp_metrics_file : Format.formatter -> Json.t -> unit
+(** Render a {!Metrics.dump} document as a [name{labels} value] table
+    (histograms print their total observation count). *)

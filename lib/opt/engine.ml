@@ -2,6 +2,13 @@ open Itf_ir
 module Template = Itf_core.Template
 module Framework = Itf_core.Framework
 module Sequence = Itf_core.Sequence
+module Legality = Itf_core.Legality
+module Tracer = Itf_obs.Tracer
+module Metrics = Itf_obs.Metrics
+
+type cause = Rejected of Legality.reason list | Unscoreable
+
+type rejection = { candidate : Sequence.t; cause : cause }
 
 type outcome = {
   sequence : Sequence.t;
@@ -9,7 +16,20 @@ type outcome = {
   result : Framework.result;
   score : float;
   stats : Stats.t;
+  rejections : rejection list;
 }
+
+let pp_cause ppf = function
+  | Unscoreable ->
+    Format.fprintf ppf "objective unscoreable (NaN or simulator failure)"
+  | Rejected reasons ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+      Legality.pp_reason ppf reasons
+
+let cause_labels = function
+  | Unscoreable -> [ "unscoreable" ]
+  | Rejected reasons -> List.map Legality.reason_label reasons
 
 module SeqTbl = Hashtbl.Make (struct
   type t = Sequence.t
@@ -42,33 +62,62 @@ let order a b =
 
 (* One candidate evaluation: extend the parent prefix by one template,
    run the final dependence test, score. Runs on worker domains — all
-   mutable state ([count]) is local, the result is merged by the caller
-   in input order. [obj_ran] is true iff the objective simulation ran. *)
-let evaluate objective (parent, t) =
+   mutable state ([count]) is local, the result and its rejection cause
+   are merged by the caller in input order. [obj_ran] is true iff the
+   objective simulation ran. [tracer] is this candidate's forked tracer;
+   it is also installed as ambient so the simulators inside [objective]
+   attach their spans under the objective span. *)
+let evaluate tracer objective (parent, t) =
   let count = ref 0 in
-  let outcome =
-    match Framework.extend ~count parent.state t with
-    | Error _ -> None
-    | Ok st -> (
-      match Framework.finish st with
-      | Error _ -> None
-      | Ok result -> Some (st, result))
+  let checked =
+    Tracer.span tracer "engine.legality" (fun () ->
+        match Framework.extend ~count parent.state t with
+        | Error v -> Error (Rejected (Legality.reasons v))
+        | Ok st -> (
+          match Framework.finish st with
+          | Error v -> Error (Rejected (Legality.reasons v))
+          | Ok result -> Ok (st, result)))
   in
-  match outcome with
-  | None -> (None, !count, false)
-  | Some (st, result) -> (
-    match objective result with
-    | score when Float.is_nan score -> (None, !count, true)
-    | score -> (Some (st, result, score), !count, true)
-    | exception _ -> (None, !count, true))
+  match checked with
+  | Error _ as e -> (e, !count, false)
+  | Ok (st, result) -> (
+    match
+      Tracer.span tracer "engine.objective" (fun () -> objective result)
+    with
+    | score when Float.is_nan score -> (Error Unscoreable, !count, true)
+    | score -> (Ok (st, result, score), !count, true)
+    | exception _ -> (Error Unscoreable, !count, true))
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
-let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains nest
+let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
+    ?(tracer = Tracer.null) ?metrics ?(provenance = false) nest
     (objective : Search.objective) =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
+  let reject_counter cause =
+    match metrics with
+    | None -> ()
+    | Some m ->
+      List.iter
+        (fun label ->
+          Metrics.incr
+            (Metrics.counter m ~labels:[ ("reason", label) ]
+               "legality.rejections"))
+        (cause_labels cause)
+  in
+  let rejections = ref [] in
+  let reject cand cause =
+    reject_counter cause;
+    if provenance then rejections := { candidate = cand; cause } :: !rejections
+  in
+  (* [domains] is deliberately NOT a span attribute: the span tree must be
+     identical across domain counts (it lives in the [engine.domains]
+     gauge and the stats record instead). *)
+  Tracer.span tracer "engine.search"
+    ~attrs:(fun () -> [ ("beam", Int beam); ("steps", Int steps) ])
+  @@ fun () ->
   let t_start = Unix.gettimeofday () in
   let explored = ref 0 in
   let duplicates = ref 0 in
@@ -89,7 +138,11 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains nest
     | Error _ -> None
     | Ok result -> (
       incr objective_evals;
-      match objective result with
+      match
+        Tracer.span tracer "engine.objective"
+          ~attrs:(fun () -> [ ("root", Bool true) ])
+          (fun () -> Tracer.with_ambient tracer (fun () -> objective result))
+      with
       | score when Float.is_nan score -> None
       | score -> Some { seq = []; canon = []; state = st; result; score }
       | exception _ -> None)
@@ -98,91 +151,134 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains nest
   | None -> None
   | Some root ->
     (* Cross-step memo keyed on canonical (peephole-reduced) sequences:
-       [Some node] is a previously evaluated legal candidate, [None] a
-       previously rejected one. E.g. reversal twice reduces to [] and is
-       answered by the root's entry without touching the framework. *)
-    let cache : node option SeqTbl.t = SeqTbl.create 256 in
-    SeqTbl.add cache root.canon (Some root);
+       [Ok node] is a previously evaluated legal candidate, [Error cause]
+       a previously rejected one whose cause replays on every re-derived
+       spelling. E.g. reversal twice reduces to [] and is answered by the
+       root's entry without touching the framework. *)
+    let cache : (node, cause) result SeqTbl.t = SeqTbl.create 256 in
+    SeqTbl.add cache root.canon (Ok root);
     let pool = Pool.create (domains - 1) in
     Fun.protect
       ~finally:(fun () -> Pool.shutdown pool)
       (fun () ->
         let bests = ref [ root ] in
         let frontier = ref [ root ] in
-        for _ = 1 to steps do
-          let t0 = Unix.gettimeofday () in
-          (* Expand: generate moves, canonicalize, dedupe within the step
-             (first spelling wins), consult the cache. Sequential — cheap
-             relative to evaluation, and keeps cache access single-domain. *)
-          let seen = SeqTbl.create 64 in
-          let hits = ref [] in
-          let misses = ref [] in
-          List.iter
-            (fun parent ->
-              let depth = Nest.depth parent.result.Framework.nest in
-              List.iter
-                (fun t ->
-                  let cand = parent.seq @ [ t ] in
-                  let canon = Sequence.reduce cand in
-                  if SeqTbl.mem seen canon then incr duplicates
-                  else begin
-                    SeqTbl.add seen canon ();
-                    incr explored;
-                    match SeqTbl.find_opt cache canon with
-                    | Some (Some cached) ->
-                      incr legality_hits;
-                      incr score_hits;
-                      saved := !saved + List.length cand;
-                      hits :=
-                        { cached with seq = cand; canon } :: !hits
-                    | Some None ->
-                      incr legality_hits;
-                      incr illegal;
-                      saved := !saved + List.length cand
-                    | None -> misses := (parent, t, cand, canon) :: !misses
-                  end)
-                (Search.moves ?block_sizes nest ~depth))
-            !frontier;
-          let hits = List.rev !hits in
-          let misses = Array.of_list (List.rev !misses) in
-          let t1 = Unix.gettimeofday () in
-          expand_time := !expand_time +. (t1 -. t0);
-          (* Evaluate the cache misses across the domain pool. [Pool.map]
-             preserves input order, so the merge below is deterministic. *)
-          let results =
-            Pool.map pool
-              (fun (parent, t, _, _) -> evaluate objective (parent, t))
-              misses
-          in
-          let t2 = Unix.gettimeofday () in
-          evaluate_time := !evaluate_time +. (t2 -. t1);
-          (* Merge in input order: fold counters, fill the cache, select
-             the beam with the total order. *)
-          let fresh = ref [] in
-          Array.iteri
-            (fun i (r, apps, obj_ran) ->
-              let _, _, cand, canon = misses.(i) in
-              applications := !applications + apps;
-              saved := !saved + max 0 (List.length cand - apps);
-              if obj_ran then incr objective_evals;
-              match r with
-              | Some (st, result, score) ->
-                let node = { seq = cand; canon; state = st; result; score } in
-                SeqTbl.replace cache canon (Some node);
-                fresh := node :: !fresh
-              | None ->
-                incr illegal;
-                SeqTbl.replace cache canon None)
-            results;
-          let top =
-            List.filteri
-              (fun k _ -> k < beam)
-              (List.sort order (hits @ List.rev !fresh))
-          in
-          frontier := top;
-          bests := top @ !bests;
-          let t3 = Unix.gettimeofday () in
-          merge_time := !merge_time +. (t3 -. t2)
+        for step = 1 to steps do
+          Tracer.span tracer "engine.step"
+            ~attrs:(fun () -> [ ("step", Int step) ])
+            (fun () ->
+              let t0 = Unix.gettimeofday () in
+              (* Expand: generate moves, canonicalize, dedupe within the
+                 step (first spelling wins), consult the cache. Sequential
+                 — cheap relative to evaluation, and keeps cache access
+                 single-domain. *)
+              let hits, misses =
+                Tracer.span tracer "engine.expand" (fun () ->
+                    let seen = SeqTbl.create 64 in
+                    let hits = ref [] in
+                    let misses = ref [] in
+                    List.iter
+                      (fun parent ->
+                        let depth = Nest.depth parent.result.Framework.nest in
+                        List.iter
+                          (fun t ->
+                            let cand = parent.seq @ [ t ] in
+                            let canon = Sequence.reduce cand in
+                            if SeqTbl.mem seen canon then incr duplicates
+                            else begin
+                              SeqTbl.add seen canon ();
+                              incr explored;
+                              match SeqTbl.find_opt cache canon with
+                              | Some (Ok cached) ->
+                                incr legality_hits;
+                                incr score_hits;
+                                saved := !saved + List.length cand;
+                                hits :=
+                                  { cached with seq = cand; canon } :: !hits
+                              | Some (Error cause) ->
+                                incr legality_hits;
+                                incr illegal;
+                                saved := !saved + List.length cand;
+                                reject cand cause
+                              | None ->
+                                misses := (parent, t, cand, canon) :: !misses
+                            end)
+                          (Search.moves ?block_sizes nest ~depth))
+                      !frontier;
+                    (List.rev !hits, Array.of_list (List.rev !misses)))
+              in
+              Tracer.add_attrs tracer
+                [
+                  ("cache_hits", Int (List.length hits));
+                  ("misses", Int (Array.length misses));
+                ];
+              let t1 = Unix.gettimeofday () in
+              expand_time := !expand_time +. (t1 -. t0);
+              (* Evaluate the cache misses across the domain pool.
+                 [Pool.map] preserves input order and each task records
+                 into its own forked tracer, joined back in input order —
+                 so both the merge below and the span tree are
+                 deterministic. *)
+              let results =
+                Tracer.span tracer "engine.evaluate"
+                  ~attrs:(fun () ->
+                    [ ("candidates", Int (Array.length misses)) ])
+                  (fun () ->
+                    let forks =
+                      Array.map (fun _ -> Tracer.fork tracer) misses
+                    in
+                    let tasks =
+                      Array.mapi
+                        (fun i (parent, t, _, _) -> (forks.(i), parent, t))
+                        misses
+                    in
+                    let results =
+                      Pool.map pool
+                        (fun (tr, parent, t) ->
+                          Tracer.with_ambient tr (fun () ->
+                              Tracer.span tr "engine.candidate"
+                                ~attrs:(fun () ->
+                                  [ ("template", String (Template.name t)) ])
+                                (fun () -> evaluate tr objective (parent, t))))
+                        tasks
+                    in
+                    Tracer.join tracer (Array.to_list forks);
+                    results)
+              in
+              let t2 = Unix.gettimeofday () in
+              evaluate_time := !evaluate_time +. (t2 -. t1);
+              (* Merge in input order: fold counters, fill the cache,
+                 record rejection provenance, select the beam with the
+                 total order. *)
+              Tracer.span tracer "engine.merge" (fun () ->
+                  let fresh = ref [] in
+                  Array.iteri
+                    (fun i (r, apps, obj_ran) ->
+                      let _, _, cand, canon = misses.(i) in
+                      applications := !applications + apps;
+                      saved := !saved + max 0 (List.length cand - apps);
+                      if obj_ran then incr objective_evals;
+                      match r with
+                      | Ok (st, result, score) ->
+                        let node =
+                          { seq = cand; canon; state = st; result; score }
+                        in
+                        SeqTbl.replace cache canon (Ok node);
+                        fresh := node :: !fresh
+                      | Error cause ->
+                        incr illegal;
+                        SeqTbl.replace cache canon (Error cause);
+                        reject cand cause)
+                    results;
+                  let top =
+                    List.filteri
+                      (fun k _ -> k < beam)
+                      (List.sort order (hits @ List.rev !fresh))
+                  in
+                  frontier := top;
+                  bests := top @ !bests);
+              let t3 = Unix.gettimeofday () in
+              merge_time := !merge_time +. (t3 -. t2))
         done;
         let winner = List.hd (List.sort order !bests) in
         let total = Unix.gettimeofday () -. t_start in
@@ -203,6 +299,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains nest
             total_time_s = total;
           }
         in
+        Option.iter (fun m -> Stats.record m stats) metrics;
         Some
           {
             sequence = winner.seq;
@@ -210,4 +307,5 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains nest
             result = winner.result;
             score = winner.score;
             stats;
+            rejections = List.rev !rejections;
           })

@@ -16,9 +16,27 @@
       total order (score, canonical sequence, raw sequence), so results
       are bit-identical to a sequential run.
 
+    {b Observability}: pass a {!Itf_obs.Tracer} to record the span tree
+    (search → step → expand/evaluate/merge → per-candidate legality and
+    objective spans; the simulators attach below the objective via the
+    ambient tracer). Per-candidate spans are forked and joined in input
+    order, so the span tree and all metric totals are identical between
+    sequential and parallel runs — timings aside. Pass a
+    {!Itf_obs.Metrics} registry to accumulate
+    [legality.rejections{reason=...}] counters and the {!Stats} record;
+    pass [~provenance:true] to keep every rejected candidate with its
+    structured cause ([loopt optimize --explain]).
+
     {!Stats} records what was done and what was avoided. *)
 
 open Itf_ir
+
+type cause =
+  | Rejected of Itf_core.Legality.reason list
+      (** the legality test failed, with the structured reasons *)
+  | Unscoreable  (** legal, but the objective returned NaN or raised *)
+
+type rejection = { candidate : Itf_core.Sequence.t; cause : cause }
 
 type outcome = {
   sequence : Itf_core.Sequence.t;  (** winning sequence, as generated *)
@@ -26,7 +44,16 @@ type outcome = {
   result : Itf_core.Framework.result;
   score : float;
   stats : Stats.t;
+  rejections : rejection list;
+      (** every rejected candidate in deterministic merge order, with its
+          cause — empty unless [~provenance:true] *)
 }
+
+val pp_cause : Format.formatter -> cause -> unit
+
+val cause_labels : cause -> string list
+(** Metric-label slugs of a cause ({!Itf_core.Legality.reason_label}, or
+    ["unscoreable"]). *)
 
 val default_domains : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core for
@@ -37,11 +64,16 @@ val search :
   ?steps:int ->
   ?block_sizes:int list ->
   ?domains:int ->
+  ?tracer:Itf_obs.Tracer.t ->
+  ?metrics:Itf_obs.Metrics.t ->
+  ?provenance:bool ->
   Nest.t ->
   Search.objective ->
   outcome option
 (** [search nest objective] beam-searches like {!Search.best} (defaults
     [beam = 6], [steps = 3]) and returns the same best score and canonical
     sequence. [domains] is the total parallelism (default
-    {!default_domains}; [1] runs entirely on the calling domain). Returns
-    [None] when not even the untransformed nest is scoreable. *)
+    {!default_domains}; [1] runs entirely on the calling domain).
+    [tracer]/[metrics] default to disabled; [provenance] (default false)
+    retains per-candidate rejection causes in the outcome. Returns [None]
+    when not even the untransformed nest is scoreable. *)

@@ -203,8 +203,16 @@ let memo_arities () =
 
 type backend = [ `Interpreted | `Compiled ]
 
+(* Metric updates below are atomic counter adds — commutative, so totals
+   are identical whether the engine evaluates candidates sequentially or
+   across domains. *)
+let mcount metrics name n =
+  match metrics with
+  | None -> ()
+  | Some m -> Itf_obs.Metrics.add (Itf_obs.Metrics.counter m name) n
+
 let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 })
-    ?(backend = `Compiled) ~params () : objective =
+    ?(backend = `Compiled) ?metrics ~params () : objective =
   let arities = memo_arities () in
   fun result ->
     let nest = result.Framework.nest in
@@ -214,14 +222,24 @@ let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 
       | `Compiled -> Itf_machine.Memsim.run_compiled config env nest
       | `Interpreted -> Itf_machine.Memsim.run config env nest
     in
-    float r.Itf_machine.Memsim.cache.Itf_machine.Cache.misses
+    let cache = r.Itf_machine.Memsim.cache in
+    mcount metrics "memsim.runs" 1;
+    mcount metrics "memsim.cache.access" cache.Itf_machine.Cache.accesses;
+    mcount metrics "memsim.cache.miss" cache.Itf_machine.Cache.misses;
+    float cache.Itf_machine.Cache.misses
 
-let parallel_time ?spawn_overhead ?(backend = `Compiled) ~procs ~params () :
-    objective =
+let parallel_time ?spawn_overhead ?(backend = `Compiled) ?metrics ~procs
+    ~params () : objective =
   let arities = memo_arities () in
   fun result ->
     let nest = result.Framework.nest in
     let env = make_env ~params (arities nest) in
-    match backend with
-    | `Compiled -> Itf_machine.Parallel.time_compiled ?spawn_overhead ~procs env nest
-    | `Interpreted -> Itf_machine.Parallel.time ?spawn_overhead ~procs env nest
+    let t =
+      match backend with
+      | `Compiled ->
+        Itf_machine.Parallel.time_compiled ?spawn_overhead ~procs env nest
+      | `Interpreted ->
+        Itf_machine.Parallel.time ?spawn_overhead ~procs env nest
+    in
+    mcount metrics "parsim.runs" 1;
+    t

@@ -58,15 +58,20 @@ type backend = [ `Interpreted | `Compiled ]
 
 val cache_misses :
   ?config:Itf_machine.Cache.config -> ?backend:backend ->
+  ?metrics:Itf_obs.Metrics.t ->
   params:(string * int) list ->
   unit -> objective
 (** Simulated cache misses of one full execution. Arrays are freshly
     allocated per evaluation from the nest's own access pattern with
     subscript range inferred by probing, so transformed nests score on
-    identical data. *)
+    identical data. [metrics], when given, accumulates [memsim.runs],
+    [memsim.cache.access] and [memsim.cache.miss] counters (atomic adds —
+    totals are domain-schedule independent). *)
 
 val parallel_time :
-  ?spawn_overhead:float -> ?backend:backend -> procs:int ->
+  ?spawn_overhead:float -> ?backend:backend ->
+  ?metrics:Itf_obs.Metrics.t -> procs:int ->
   params:(string * int) list ->
   unit -> objective
-(** Simulated parallel execution time on [procs] processors. *)
+(** Simulated parallel execution time on [procs] processors. [metrics]
+    accumulates a [parsim.runs] counter. *)

@@ -47,15 +47,41 @@ let pp ppf s =
     s.template_applications_saved s.objective_evaluations s.domains
     s.expand_time_s s.evaluate_time_s s.merge_time_s s.total_time_s
 
-let to_json s =
-  Printf.sprintf
-    "{\"nodes_explored\": %d, \"duplicates_pruned\": %d, \
-     \"legality_cache_hits\": %d, \"score_cache_hits\": %d, \"illegal\": %d, \
-     \"template_applications\": %d, \"template_applications_saved\": %d, \
-     \"objective_evaluations\": %d, \"domains\": %d, \"expand_time_s\": %.6f, \
-     \"evaluate_time_s\": %.6f, \"merge_time_s\": %.6f, \"total_time_s\": \
-     %.6f}"
-    s.nodes_explored s.duplicates_pruned s.legality_cache_hits
-    s.score_cache_hits s.illegal s.template_applications
-    s.template_applications_saved s.objective_evaluations s.domains
-    s.expand_time_s s.evaluate_time_s s.merge_time_s s.total_time_s
+let to_json_value s =
+  Itf_obs.Json.Obj
+    [
+      ("nodes_explored", Itf_obs.Json.Int s.nodes_explored);
+      ("duplicates_pruned", Itf_obs.Json.Int s.duplicates_pruned);
+      ("legality_cache_hits", Itf_obs.Json.Int s.legality_cache_hits);
+      ("score_cache_hits", Itf_obs.Json.Int s.score_cache_hits);
+      ("illegal", Itf_obs.Json.Int s.illegal);
+      ("template_applications", Itf_obs.Json.Int s.template_applications);
+      ( "template_applications_saved",
+        Itf_obs.Json.Int s.template_applications_saved );
+      ("objective_evaluations", Itf_obs.Json.Int s.objective_evaluations);
+      ("domains", Itf_obs.Json.Int s.domains);
+      ("expand_time_s", Itf_obs.Json.Float s.expand_time_s);
+      ("evaluate_time_s", Itf_obs.Json.Float s.evaluate_time_s);
+      ("merge_time_s", Itf_obs.Json.Float s.merge_time_s);
+      ("total_time_s", Itf_obs.Json.Float s.total_time_s);
+    ]
+
+let to_json s = Itf_obs.Json.to_string (to_json_value s)
+
+let record metrics s =
+  let c name v = Itf_obs.Metrics.add (Itf_obs.Metrics.counter metrics name) v in
+  c "engine.nodes_explored" s.nodes_explored;
+  c "engine.duplicates_pruned" s.duplicates_pruned;
+  c "engine.cache.hit" (s.legality_cache_hits + s.score_cache_hits);
+  c "engine.legality_cache_hits" s.legality_cache_hits;
+  c "engine.score_cache_hits" s.score_cache_hits;
+  c "engine.illegal" s.illegal;
+  c "engine.template_applications" s.template_applications;
+  c "engine.template_applications_saved" s.template_applications_saved;
+  c "engine.objective_evaluations" s.objective_evaluations;
+  Itf_obs.Metrics.set
+    (Itf_obs.Metrics.gauge metrics "engine.domains")
+    (float_of_int s.domains);
+  Itf_obs.Metrics.observe
+    (Itf_obs.Metrics.histogram metrics "engine.total_time_ms")
+    (s.total_time_s *. 1e3)

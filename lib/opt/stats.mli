@@ -31,5 +31,14 @@ val zero : t
 
 val pp : Format.formatter -> t -> unit
 
+val to_json_value : t -> Itf_obs.Json.t
+(** The record as a JSON object, for embedding in larger documents. *)
+
 val to_json : t -> string
 (** One JSON object (no trailing newline); used by [bench --search]. *)
+
+val record : Itf_obs.Metrics.t -> t -> unit
+(** Fold the record into a metrics registry: counters add under
+    [engine.*] names (so repeated searches accumulate), [engine.domains]
+    is a gauge, and the total time lands in an [engine.total_time_ms]
+    histogram. *)

@@ -520,7 +520,7 @@ let test_legality_figure4_nonlinear_bounds () =
     check_bool "mentions nonlinear" true
       (List.exists
          (fun v ->
-           Builders.contains ~sub:"nonlinear" v.Itf_core.Boundsmap.message)
+           Builders.contains ~sub:"nonlinear" (Itf_core.Boundsmap.message v))
          violations)
   | _ -> Alcotest.fail "expected bounds violation");
   (* ReversePermute moving i innermost: bounds of j and k are invariant in

@@ -174,6 +174,44 @@ let test_trace_ascii () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_trace_ascii_dims () =
+  let env = Env.create () in
+  (* 1-D: one column, one row per iteration, ordinals in execution order *)
+  let oned =
+    Nest.make
+      [ Nest.loop "i" (Expr.int 1) (Expr.int 4) ]
+      [ Stmt.Set ("x", Expr.var "i") ]
+  in
+  Alcotest.(check string)
+    "1-D grid" "  0\n  1\n  2\n  3\n"
+    (Itf_exec.Trace.ascii_order env oned);
+  (* 2-D 2x2: row-major ordinals *)
+  let two =
+    Nest.make
+      [
+        Nest.loop "i" (Expr.int 0) (Expr.int 1);
+        Nest.loop "j" (Expr.int 0) (Expr.int 1);
+      ]
+      [ Stmt.Set ("x", Expr.var "j") ]
+  in
+  Alcotest.(check string)
+    "2x2 grid" "  0   1\n  2   3\n"
+    (Itf_exec.Trace.ascii_order env two);
+  (* the rejection names the offending depth *)
+  Alcotest.check_raises "depth named"
+    (Invalid_argument
+       "Trace.ascii_order: only 1- or 2-deep nests (nest is 3 deep)")
+    (fun () ->
+      ignore
+        (Itf_exec.Trace.ascii_order env
+           (Nest.make
+              [
+                Nest.loop "i" Expr.zero Expr.one;
+                Nest.loop "j" Expr.zero Expr.one;
+                Nest.loop "k" Expr.zero Expr.one;
+              ]
+              [ Stmt.Set ("x", Expr.zero) ])))
+
 let test_sparse_matmul_runs () =
   (* The Figure 4(c) nest executes with CSR access functions. *)
   let nest = Builders.sparse_matmul () in
@@ -209,5 +247,7 @@ let () =
           Alcotest.test_case "floor division" `Quick test_division_semantics_match_expr;
           Alcotest.test_case "sparse matmul (fig 4c)" `Quick test_sparse_matmul_runs;
           Alcotest.test_case "ascii traversal grids" `Quick test_trace_ascii;
+          Alcotest.test_case "ascii grid dimensions" `Quick
+            test_trace_ascii_dims;
         ] );
     ]
