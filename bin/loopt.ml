@@ -211,8 +211,8 @@ let write_metrics metrics = function
       write_text_file path (Itf_obs.Json.to_string (Itf_obs.Metrics.dump m) ^ "\n"))
 
 let optimize_cmd =
-  let run nest_path objective params procs steps domains show_stats stats_json
-      explain trace_out metrics_out =
+  let run nest_path objective params procs steps domains exact_topk tier0_only
+      show_stats stats_json explain trace_out metrics_out =
     match parse_nest_file nest_path with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -226,22 +226,51 @@ let optimize_cmd =
       let metrics =
         if metrics_out = None then None else Some (Itf_obs.Metrics.create ())
       in
-      let obj =
+      (* The tier-0 spec mirrors the exact objective's machine model so the
+         screen ranks what the simulator will measure. [--exact-topk 0]
+         disables the screen entirely (untiered exact search). *)
+      let obj, tier0 =
         match objective with
-        | "locality" -> Itf_opt.Search.cache_misses ?metrics ~params ()
-        | "parallel" -> Itf_opt.Search.parallel_time ?metrics ~procs ~params ()
+        | "locality" ->
+          ( Itf_opt.Search.cache_misses ?metrics ~params (),
+            Itf_opt.Costmodel.Locality
+              {
+                config =
+                  { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 };
+                elem_bytes = 8;
+                params;
+              } )
+        | "parallel" ->
+          ( Itf_opt.Search.parallel_time ?metrics ~procs ~params (),
+            Itf_opt.Costmodel.Parallel
+              { procs; spawn_overhead = 2.0; params } )
         | other ->
           Printf.eprintf "error: unknown objective %s (use locality|parallel)\n" other;
           exit 1
       in
+      if tier0_only && exact_topk = 0 then begin
+        Printf.eprintf "error: --tier0-only conflicts with --exact-topk 0\n";
+        exit 1
+      end;
+      let tier0 = if exact_topk = 0 then None else Some tier0 in
       match
         Itf_opt.Engine.search ~steps ?domains ~tracer ?metrics
-          ~provenance:explain nest obj
+          ~provenance:explain ?tier0
+          ~exact_topk:(max 1 exact_topk) ~tier0_only nest obj
       with
       | None ->
         Printf.eprintf "error: nest could not be scored\n";
         1
-      | Some { Itf_opt.Engine.sequence; result; score; stats; rejections; _ } ->
+      | Some
+          {
+            Itf_opt.Engine.sequence;
+            result;
+            score;
+            stats;
+            rejections;
+            decisions;
+            _;
+          } ->
         Format.printf "explored %d candidate sequences@."
           stats.Itf_opt.Stats.nodes_explored;
         Format.printf "== best sequence (score %.1f) ==@." score;
@@ -256,7 +285,18 @@ let optimize_cmd =
             (fun { Itf_opt.Engine.candidate; cause } ->
               Format.printf "@[<hov 2>%a:@ %a@]@." Itf_core.Sequence.pp
                 candidate Itf_opt.Engine.pp_cause cause)
-            rejections
+            rejections;
+          if decisions <> [] then begin
+            Format.printf "== tier-0 screening (%d legal candidates) ==@."
+              (List.length decisions);
+            List.iter
+              (fun (d : Itf_opt.Engine.decision) ->
+                Format.printf "@[<hov 2>%a:@ score %.1f, bound %.1f -> %s@]@."
+                  Itf_core.Sequence.pp d.Itf_opt.Engine.candidate
+                  d.Itf_opt.Engine.tier0_score d.Itf_opt.Engine.tier0_bound
+                  (Itf_opt.Engine.verdict_label d.Itf_opt.Engine.verdict))
+              decisions
+          end
         end;
         if show_stats then
           Format.printf "== search stats ==@.%a@." Itf_opt.Stats.pp stats;
@@ -287,6 +327,25 @@ let optimize_cmd =
              core count minus one; 1 forces a sequential search (same \
              result either way).")
   in
+  let exact_topk =
+    Arg.(
+      value
+      & opt int Itf_opt.Engine.default_exact_topk
+      & info [ "exact-topk" ] ~docv:"K"
+          ~doc:
+            "Exact simulations per search step: the analytic tier-0 cost \
+             model screens every legal candidate and only the K most \
+             promising reach the exact simulator. 0 disables the screen \
+             (every legal candidate simulated, pre-tiering behaviour).")
+  in
+  let tier0_only =
+    Arg.(
+      value & flag
+      & info [ "tier0-only" ]
+          ~doc:
+            "Score candidates with the analytic cost model alone — no \
+             exact simulation at all. Fast, but the winner is an estimate.")
+  in
   let show_stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search instrumentation (cache hits, saved template applications, timings).")
   in
@@ -303,7 +362,9 @@ let optimize_cmd =
           ~doc:
             "List every candidate the search rejected with its structured \
              reason (failed bounds precondition, lexicographically negative \
-             dependence vector, unscoreable objective).")
+             dependence vector, unscoreable objective), plus every tier-0 \
+             screening decision (estimate, admissible bound, \
+             survived/screened-out/bound-pruned).")
   in
   let trace_out =
     Arg.(
@@ -323,7 +384,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Search for a legal transformation sequence minimizing an objective.")
     Term.(
       const run $ nest_arg $ objective $ params_arg $ procs $ steps $ domains
-      $ show_stats $ stats_json $ explain $ trace_out $ metrics_out)
+      $ exact_topk $ tier0_only $ show_stats $ stats_json $ explain
+      $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)

@@ -35,6 +35,8 @@ let create config =
     hits = 0;
   }
 
+let config_of t = t.config
+
 let access t addr =
   let line = addr / t.config.line_bytes in
   let set = ((line mod t.sets) + t.sets) mod t.sets in

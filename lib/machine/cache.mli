@@ -25,6 +25,9 @@ type t
 val create : config -> t
 (** @raise Invalid_argument on inconsistent geometry. *)
 
+val config_of : t -> config
+(** The geometry the cache was created with. *)
+
 val access : t -> int -> bool
 (** [access t addr] touches the byte address, returns [true] on a hit. *)
 

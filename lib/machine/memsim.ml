@@ -28,6 +28,20 @@ let base_of bases array =
   | Some b -> b
   | None -> invalid_arg ("Memsim: array not in layout: " ^ array)
 
+(* The cache's tag/age arrays are the per-run scratch: a caller evaluating
+   many nests against one geometry (the search objective) passes the same
+   cache back in and pays an O(sets * assoc) reset instead of a fresh
+   allocation per run. A reset cache is indistinguishable from a new one,
+   so results are bit-identical either way. *)
+let scratch_cache ?cache config =
+  match cache with
+  | None -> Cache.create config
+  | Some c ->
+    if Cache.config_of c <> config then
+      invalid_arg "Memsim: scratch cache geometry differs from run config";
+    Cache.reset c;
+    c
+
 let finish ~hit_cost ~miss_penalty cache =
   let stats = Cache.stats cache in
   {
@@ -50,9 +64,10 @@ let traced name f =
         ];
       r)
 
-let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
+let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) ?cache config env
+    nest =
   traced "memsim.run" @@ fun _tr ->
-  let cache = Cache.create config in
+  let cache = scratch_cache ?cache config in
   let bases = layout ~elem_bytes config env nest in
   (* The tracer fires per element access; memoize the last array's base so
      consecutive touches of the same array skip the hashtable. *)
@@ -76,10 +91,10 @@ let run ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config env nest =
     (fun () -> Itf_exec.Interp.run env nest);
   finish ~hit_cost ~miss_penalty cache
 
-let run_compiled ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) config
-    env nest =
+let run_compiled ?(elem_bytes = 8) ?(hit_cost = 1) ?(miss_penalty = 30) ?cache
+    config env nest =
   traced "memsim.run" @@ fun tr ->
-  let cache = Cache.create config in
+  let cache = scratch_cache ?cache config in
   let bases = layout ~elem_bytes config env nest in
   let compiled =
     Itf_obs.Tracer.span tr "memsim.compile" (fun () ->

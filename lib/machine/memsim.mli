@@ -16,6 +16,7 @@ val run :
   ?elem_bytes:int ->
   ?hit_cost:int ->
   ?miss_penalty:int ->
+  ?cache:Cache.t ->
   Cache.config ->
   Itf_exec.Env.t ->
   Nest.t ->
@@ -23,12 +24,19 @@ val run :
 (** [run config env nest] executes [nest] in [env] (mutating its arrays)
     while simulating the cache, using the tree-walking interpreter and the
     environment tracer. Defaults: 8-byte elements, 1-cycle hits, 30-cycle
-    miss penalty. *)
+    miss penalty.
+
+    [cache], when given, is {!Cache.reset} and used as the simulation
+    scratch instead of allocating a fresh cache — for callers running many
+    simulations against one geometry (the search objective hot path).
+    Results are bit-identical with and without it.
+    @raise Invalid_argument if its geometry differs from [config]. *)
 
 val run_compiled :
   ?elem_bytes:int ->
   ?hit_cost:int ->
   ?miss_penalty:int ->
+  ?cache:Cache.t ->
   Cache.config ->
   Itf_exec.Env.t ->
   Nest.t ->

@@ -8,6 +8,17 @@ module Metrics = Itf_obs.Metrics
 
 type cause = Rejected of Legality.reason list | Unscoreable
 
+type tier0_verdict = Survived | Screened_out | Bound_pruned
+
+type decision = {
+  candidate : Sequence.t;
+  tier0_score : float;
+  tier0_bound : float;
+  verdict : tier0_verdict;
+}
+
+(* Declared after [decision] so unannotated [.candidate] / [.cause]
+   accesses keep resolving here, as they did before tiering existed. *)
 type rejection = { candidate : Sequence.t; cause : cause }
 
 type outcome = {
@@ -17,6 +28,7 @@ type outcome = {
   score : float;
   stats : Stats.t;
   rejections : rejection list;
+  decisions : decision list;
 }
 
 let pp_cause ppf = function
@@ -31,6 +43,11 @@ let cause_labels = function
   | Unscoreable -> [ "unscoreable" ]
   | Rejected reasons -> List.map Legality.reason_label reasons
 
+let verdict_label = function
+  | Survived -> "survived"
+  | Screened_out -> "screened_out"
+  | Bound_pruned -> "bound_pruned"
+
 module SeqTbl = Hashtbl.Make (struct
   type t = Sequence.t
 
@@ -38,10 +55,10 @@ module SeqTbl = Hashtbl.Make (struct
   let hash = Sequence.hash
 end)
 
-(* A frontier node: a legality-checked candidate. [state] is the resumable
-   prefix (possibly the state of [canon] rather than [seq] when the node
-   was served from cache — the two generate the same nest, so extensions
-   agree). *)
+(* A frontier node: a legality-checked, exactly scored candidate. [state]
+   is the resumable prefix (possibly the state of [canon] rather than
+   [seq] when the node was served from cache — the two generate the same
+   nest, so extensions agree). *)
 type node = {
   seq : Sequence.t;
   canon : Sequence.t;
@@ -49,6 +66,20 @@ type node = {
   result : Framework.result;
   score : float;
 }
+
+(* A legality-checked candidate holding only a tier-0 estimate: it was
+   screened out of the exact tier (or has not reached it yet). Kept in the
+   cache so a re-derived spelling skips legality AND tier-0 work. *)
+type checked = {
+  cseq : Sequence.t;
+  ccanon : Sequence.t;
+  cstate : Framework.state;
+  cresult : Framework.result;
+  cest : Costmodel.estimate;
+}
+
+(* Cross-step memo entries, keyed on canonical sequences. *)
+type entry = Scored of node | Checked of checked | Failed of cause
 
 (* Total order on candidates: (score, canonical sequence, raw sequence).
    Beam cut-offs and the final winner are therefore independent of
@@ -60,13 +91,21 @@ let order a b =
     let c = Sequence.compare a.canon b.canon in
     if c <> 0 then c else Sequence.compare a.seq b.seq
 
-(* One candidate evaluation: extend the parent prefix by one template,
-   run the final dependence test, score. Runs on worker domains — all
-   mutable state ([count]) is local, the result and its rejection cause
-   are merged by the caller in input order. [obj_ran] is true iff the
-   objective simulation ran. [tracer] is this candidate's forked tracer;
-   it is also installed as ambient so the simulators inside [objective]
-   attach their spans under the objective span. *)
+(* Same total order on tier-0 estimates. *)
+let order_checked a b =
+  let c = Float.compare a.cest.Costmodel.score b.cest.Costmodel.score in
+  if c <> 0 then c
+  else
+    let c = Sequence.compare a.ccanon b.ccanon in
+    if c <> 0 then c else Sequence.compare a.cseq b.cseq
+
+(* One single-tier candidate evaluation: extend the parent prefix by one
+   template, run the final dependence test, score. Runs on worker domains
+   — all mutable state ([count]) is local, the result and its rejection
+   cause are merged by the caller in input order. [obj_ran] is true iff
+   the objective simulation ran. [tracer] is this candidate's forked
+   tracer; it is also installed as ambient so the simulators inside
+   [objective] attach their spans under the objective span. *)
 let evaluate tracer objective (parent, t) =
   let count = ref 0 in
   let checked =
@@ -88,14 +127,40 @@ let evaluate tracer objective (parent, t) =
     | score -> (Ok (st, result, score), !count, true)
     | exception _ -> (Error Unscoreable, !count, true))
 
+(* Tier-0 evaluation of one candidate: legality, then the analytic
+   estimate — no simulation. Also runs on worker domains. *)
+let evaluate_tier0 tier0 (parent, t) =
+  let count = ref 0 in
+  let checked =
+    match Framework.extend ~count parent.state t with
+    | Error v -> Error (Rejected (Legality.reasons v))
+    | Ok st -> (
+      match Framework.finish st with
+      | Error v -> Error (Rejected (Legality.reasons v))
+      | Ok result -> Ok (st, result, tier0 result))
+  in
+  (checked, !count)
+
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
+let default_exact_topk = 12
+
 let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
-    ?(tracer = Tracer.null) ?metrics ?(provenance = false) nest
+    ?(tracer = Tracer.null) ?metrics ?(provenance = false) ?tier0
+    ?(exact_topk = default_exact_topk) ?(tier0_only = false) nest
     (objective : Search.objective) =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
+  (* A beam member must carry a score, so the exact tier can never feed
+     the beam fewer candidates than it holds. *)
+  let exact_topk = max beam exact_topk in
+  let tier0_fn = Option.map Costmodel.make tier0 in
+  let subtree_prune =
+    match tier0 with Some s -> Costmodel.subtree_admissible s | None -> false
+  in
+  if tier0_only && Option.is_none tier0_fn then
+    invalid_arg "Engine.search: ~tier0_only requires ~tier0";
   let reject_counter cause =
     match metrics with
     | None -> ()
@@ -112,6 +177,18 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
     reject_counter cause;
     if provenance then rejections := { candidate = cand; cause } :: !rejections
   in
+  let decisions = ref [] in
+  let decide cand (est : Costmodel.estimate) verdict =
+    if provenance then
+      decisions :=
+        {
+          candidate = cand;
+          tier0_score = est.Costmodel.score;
+          tier0_bound = est.Costmodel.bound;
+          verdict;
+        }
+        :: !decisions
+  in
   (* [domains] is deliberately NOT a span attribute: the span tree must be
      identical across domain counts (it lives in the [engine.domains]
      gauge and the stats record instead). *)
@@ -127,9 +204,23 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   let applications = ref 0 in
   let saved = ref 0 in
   let objective_evals = ref 0 in
+  let tier0_evals = ref 0 in
+  let tier0_pruned = ref 0 in
   let expand_time = ref 0. in
   let evaluate_time = ref 0. in
   let merge_time = ref 0. in
+  (* One persistent process-wide pool, grown on demand, instead of forking
+     domains per search: spawn cost rivals a whole small search. Purely
+     sequential searches never touch it. *)
+  let pool =
+    if domains > 1 then Some (Pool.shared ~workers:(domains - 1) ()) else None
+  in
+  let pmap : 'a 'b. ('a -> 'b) -> 'a array -> 'b array =
+   fun f input ->
+    match pool with
+    | None -> Array.map f input
+    | Some p -> Pool.map_auto p f input
+  in
   let vectors = Itf_dep.Analysis.vectors nest in
   let root =
     incr explored;
@@ -137,88 +228,111 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
     match Framework.finish st with
     | Error _ -> None
     | Ok result -> (
-      incr objective_evals;
-      match
-        Tracer.span tracer "engine.objective"
-          ~attrs:(fun () -> [ ("root", Bool true) ])
-          (fun () -> Tracer.with_ambient tracer (fun () -> objective result))
-      with
-      | score when Float.is_nan score -> None
-      | score -> Some { seq = []; canon = []; state = st; result; score }
-      | exception _ -> None)
+      match tier0_fn with
+      | Some t0 when tier0_only ->
+        incr tier0_evals;
+        let est = t0 result in
+        Some
+          { seq = []; canon = []; state = st; result; score = est.Costmodel.score }
+      | _ -> (
+        incr objective_evals;
+        match
+          Tracer.span tracer "engine.objective"
+            ~attrs:(fun () -> [ ("root", Bool true) ])
+            (fun () -> Tracer.with_ambient tracer (fun () -> objective result))
+        with
+        | score when Float.is_nan score -> None
+        | score -> Some { seq = []; canon = []; state = st; result; score }
+        | exception _ -> None))
   in
   match root with
   | None -> None
   | Some root ->
     (* Cross-step memo keyed on canonical (peephole-reduced) sequences:
-       [Ok node] is a previously evaluated legal candidate, [Error cause]
-       a previously rejected one whose cause replays on every re-derived
-       spelling. E.g. reversal twice reduces to [] and is answered by the
-       root's entry without touching the framework. *)
-    let cache : (node, cause) result SeqTbl.t = SeqTbl.create 256 in
-    SeqTbl.add cache root.canon (Ok root);
-    let pool = Pool.create (domains - 1) in
-    Fun.protect
-      ~finally:(fun () -> Pool.shutdown pool)
-      (fun () ->
-        let bests = ref [ root ] in
-        let frontier = ref [ root ] in
-        for step = 1 to steps do
-          Tracer.span tracer "engine.step"
-            ~attrs:(fun () -> [ ("step", Int step) ])
-            (fun () ->
-              let t0 = Unix.gettimeofday () in
-              (* Expand: generate moves, canonicalize, dedupe within the
-                 step (first spelling wins), consult the cache. Sequential
-                 — cheap relative to evaluation, and keeps cache access
-                 single-domain. *)
-              let hits, misses =
-                Tracer.span tracer "engine.expand" (fun () ->
-                    let seen = SeqTbl.create 64 in
-                    let hits = ref [] in
-                    let misses = ref [] in
+       [Scored] is a previously evaluated legal candidate, [Checked] one
+       that only reached the tier-0 screen, [Failed] a rejected one whose
+       cause replays on every re-derived spelling. E.g. reversal twice
+       reduces to [] and is answered by the root's entry without touching
+       the framework. The cache is written exclusively by the merging
+       thread (workers fill per-index result slots), so parallel runs stay
+       bit-identical to sequential ones. *)
+    let cache : entry SeqTbl.t = SeqTbl.create 256 in
+    SeqTbl.add cache root.canon (Scored root);
+    (* Best exact score seen so far — the branch-and-bound incumbent. Only
+       updated between steps, so every candidate of one step faces the
+       same cutoff regardless of evaluation order. *)
+    let incumbent = ref root.score in
+    let bests = ref [ root ] in
+    let frontier = ref [ root ] in
+    for step = 1 to steps do
+      Tracer.span tracer "engine.step"
+        ~attrs:(fun () -> [ ("step", Int step) ])
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (* Expand: generate moves, canonicalize, dedupe within the
+             step (first spelling wins), consult the cache. Sequential
+             — cheap relative to evaluation, and keeps cache access
+             single-domain. *)
+          let hits, checked_hits, misses =
+            Tracer.span tracer "engine.expand" (fun () ->
+                let seen = SeqTbl.create 64 in
+                let hits = ref [] in
+                let checked_hits = ref [] in
+                let misses = ref [] in
+                List.iter
+                  (fun parent ->
+                    let depth = Nest.depth parent.result.Framework.nest in
                     List.iter
-                      (fun parent ->
-                        let depth = Nest.depth parent.result.Framework.nest in
-                        List.iter
-                          (fun t ->
-                            let cand = parent.seq @ [ t ] in
-                            let canon = Sequence.reduce cand in
-                            if SeqTbl.mem seen canon then incr duplicates
-                            else begin
-                              SeqTbl.add seen canon ();
-                              incr explored;
-                              match SeqTbl.find_opt cache canon with
-                              | Some (Ok cached) ->
-                                incr legality_hits;
-                                incr score_hits;
-                                saved := !saved + List.length cand;
-                                hits :=
-                                  { cached with seq = cand; canon } :: !hits
-                              | Some (Error cause) ->
-                                incr legality_hits;
-                                incr illegal;
-                                saved := !saved + List.length cand;
-                                reject cand cause
-                              | None ->
-                                misses := (parent, t, cand, canon) :: !misses
-                            end)
-                          (Search.moves ?block_sizes nest ~depth))
-                      !frontier;
-                    (List.rev !hits, Array.of_list (List.rev !misses)))
-              in
-              Tracer.add_attrs tracer
-                [
-                  ("cache_hits", Int (List.length hits));
-                  ("misses", Int (Array.length misses));
-                ];
-              let t1 = Unix.gettimeofday () in
-              expand_time := !expand_time +. (t1 -. t0);
-              (* Evaluate the cache misses across the domain pool.
-                 [Pool.map] preserves input order and each task records
-                 into its own forked tracer, joined back in input order —
-                 so both the merge below and the span tree are
-                 deterministic. *)
+                      (fun t ->
+                        let cand = parent.seq @ [ t ] in
+                        let canon = Sequence.reduce cand in
+                        if SeqTbl.mem seen canon then incr duplicates
+                        else begin
+                          SeqTbl.add seen canon ();
+                          incr explored;
+                          match SeqTbl.find_opt cache canon with
+                          | Some (Scored cached) ->
+                            incr legality_hits;
+                            incr score_hits;
+                            saved := !saved + List.length cand;
+                            hits := { cached with seq = cand; canon } :: !hits
+                          | Some (Checked c) ->
+                            incr legality_hits;
+                            saved := !saved + List.length cand;
+                            checked_hits :=
+                              { c with cseq = cand; ccanon = canon }
+                              :: !checked_hits
+                          | Some (Failed cause) ->
+                            incr legality_hits;
+                            incr illegal;
+                            saved := !saved + List.length cand;
+                            reject cand cause
+                          | None ->
+                            misses := (parent, t, cand, canon) :: !misses
+                        end)
+                      (Search.moves ?block_sizes nest ~depth))
+                  !frontier;
+                ( List.rev !hits,
+                  List.rev !checked_hits,
+                  Array.of_list (List.rev !misses) ))
+          in
+          Tracer.add_attrs tracer
+            [
+              ("cache_hits", Int (List.length hits + List.length checked_hits));
+              ("misses", Int (Array.length misses));
+            ];
+          let t1 = Unix.gettimeofday () in
+          expand_time := !expand_time +. (t1 -. t0);
+          (* Evaluate the cache misses across the domain pool. The pool
+             map preserves input order and (in the single-tier path) each
+             task records into its own forked tracer, joined back in input
+             order — so both the merge below and the span tree are
+             deterministic. *)
+          let fresh =
+            match tier0_fn with
+            | None ->
+              (* Single-tier: fused legality + exact objective per
+                 candidate, exactly the pre-tiering behaviour. *)
               let results =
                 Tracer.span tracer "engine.evaluate"
                   ~attrs:(fun () ->
@@ -233,7 +347,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                         misses
                     in
                     let results =
-                      Pool.map pool
+                      pmap
                         (fun (tr, parent, t) ->
                           Tracer.with_ambient tr (fun () ->
                               Tracer.span tr "engine.candidate"
@@ -248,64 +362,212 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               let t2 = Unix.gettimeofday () in
               evaluate_time := !evaluate_time +. (t2 -. t1);
               (* Merge in input order: fold counters, fill the cache,
-                 record rejection provenance, select the beam with the
-                 total order. *)
-              Tracer.span tracer "engine.merge" (fun () ->
-                  let fresh = ref [] in
-                  Array.iteri
-                    (fun i (r, apps, obj_ran) ->
-                      let _, _, cand, canon = misses.(i) in
-                      applications := !applications + apps;
-                      saved := !saved + max 0 (List.length cand - apps);
-                      if obj_ran then incr objective_evals;
-                      match r with
-                      | Ok (st, result, score) ->
-                        let node =
-                          { seq = cand; canon; state = st; result; score }
-                        in
-                        SeqTbl.replace cache canon (Ok node);
-                        fresh := node :: !fresh
-                      | Error cause ->
-                        incr illegal;
-                        SeqTbl.replace cache canon (Error cause);
-                        reject cand cause)
-                    results;
-                  let top =
-                    List.filteri
-                      (fun k _ -> k < beam)
-                      (List.sort order (hits @ List.rev !fresh))
-                  in
-                  frontier := top;
-                  bests := top @ !bests);
-              let t3 = Unix.gettimeofday () in
-              merge_time := !merge_time +. (t3 -. t2))
-        done;
-        let winner = List.hd (List.sort order !bests) in
-        let total = Unix.gettimeofday () -. t_start in
-        let stats =
-          {
-            Stats.nodes_explored = !explored;
-            duplicates_pruned = !duplicates;
-            legality_cache_hits = !legality_hits;
-            score_cache_hits = !score_hits;
-            illegal = !illegal;
-            template_applications = !applications;
-            template_applications_saved = !saved;
-            objective_evaluations = !objective_evals;
-            domains;
-            expand_time_s = !expand_time;
-            evaluate_time_s = !evaluate_time;
-            merge_time_s = !merge_time;
-            total_time_s = total;
-          }
-        in
-        Option.iter (fun m -> Stats.record m stats) metrics;
-        Some
-          {
-            sequence = winner.seq;
-            canonical = winner.canon;
-            result = winner.result;
-            score = winner.score;
-            stats;
-            rejections = List.rev !rejections;
-          })
+                 record rejection provenance. *)
+              let fresh = ref [] in
+              Array.iteri
+                (fun i (r, apps, obj_ran) ->
+                  let _, _, cand, canon = misses.(i) in
+                  applications := !applications + apps;
+                  saved := !saved + max 0 (List.length cand - apps);
+                  if obj_ran then incr objective_evals;
+                  match r with
+                  | Ok (st, result, score) ->
+                    let node =
+                      { seq = cand; canon; state = st; result; score }
+                    in
+                    SeqTbl.replace cache canon (Scored node);
+                    fresh := node :: !fresh
+                  | Error cause ->
+                    incr illegal;
+                    SeqTbl.replace cache canon (Failed cause);
+                    reject cand cause)
+                results;
+              List.rev !fresh
+            | Some t0 ->
+              (* Tier 0: legality + analytic estimate for every fresh
+                 candidate (cheap — no simulation). *)
+              let results =
+                Tracer.span tracer "engine.tier0"
+                  ~attrs:(fun () ->
+                    [ ("candidates", Int (Array.length misses)) ])
+                  (fun () ->
+                    pmap
+                      (fun (parent, t, _, _) -> evaluate_tier0 t0 (parent, t))
+                      misses)
+              in
+              let pending = ref [] in
+              Array.iteri
+                (fun i (r, apps) ->
+                  let _, _, cand, canon = misses.(i) in
+                  applications := !applications + apps;
+                  saved := !saved + max 0 (List.length cand - apps);
+                  match r with
+                  | Ok (st, result, est) ->
+                    incr tier0_evals;
+                    pending :=
+                      {
+                        cseq = cand;
+                        ccanon = canon;
+                        cstate = st;
+                        cresult = result;
+                        cest = est;
+                      }
+                      :: !pending
+                  | Error cause ->
+                    incr illegal;
+                    SeqTbl.replace cache canon (Failed cause);
+                    reject cand cause)
+                results;
+              (* Screen, deterministically: sort every tier-0-estimated
+                 candidate (fresh and cached alike) by the estimate order;
+                 cut dominated subtrees with the admissible bound against
+                 the incumbent; only the top-K survivors reach the exact
+                 simulator. *)
+              let screened =
+                List.sort order_checked (checked_hits @ List.rev !pending)
+              in
+              let survivors = ref [] and kept = ref 0 in
+              List.iter
+                (fun c ->
+                  if
+                    subtree_prune && (not tier0_only)
+                    && c.cest.Costmodel.bound > !incumbent
+                  then begin
+                    (* exact(c) and exact(every descendant) >= bound >
+                       incumbent: neither can ever win. *)
+                    incr tier0_pruned;
+                    decide c.cseq c.cest Bound_pruned;
+                    SeqTbl.replace cache c.ccanon (Checked c)
+                  end
+                  else if tier0_only || !kept < exact_topk then begin
+                    incr kept;
+                    decide c.cseq c.cest Survived;
+                    survivors := c :: !survivors
+                  end
+                  else begin
+                    incr tier0_pruned;
+                    decide c.cseq c.cest Screened_out;
+                    SeqTbl.replace cache c.ccanon (Checked c)
+                  end)
+                screened;
+              let survivors = Array.of_list (List.rev !survivors) in
+              (* Exact tier: simulate only the survivors. In tier0-only
+                 mode the estimate itself is the score. *)
+              let scored =
+                if tier0_only then
+                  Array.map
+                    (fun c -> (c, Ok c.cest.Costmodel.score))
+                    survivors
+                else
+                  Tracer.span tracer "engine.exact"
+                    ~attrs:(fun () ->
+                      [ ("survivors", Int (Array.length survivors)) ])
+                    (fun () ->
+                      let forks =
+                        Array.map (fun _ -> Tracer.fork tracer) survivors
+                      in
+                      let tasks =
+                        Array.mapi (fun i c -> (forks.(i), c)) survivors
+                      in
+                      let results =
+                        pmap
+                          (fun (tr, c) ->
+                            Tracer.with_ambient tr (fun () ->
+                                Tracer.span tr "engine.candidate"
+                                  ~attrs:(fun () ->
+                                    [
+                                      ( "template",
+                                        String
+                                          (match List.rev c.cseq with
+                                          | t :: _ -> Template.name t
+                                          | [] -> "identity") );
+                                    ])
+                                  (fun () ->
+                                    Tracer.span tr "engine.objective"
+                                      (fun () ->
+                                        match objective c.cresult with
+                                        | s when Float.is_nan s ->
+                                          Error Unscoreable
+                                        | s -> Ok s
+                                        | exception _ -> Error Unscoreable))))
+                          tasks
+                      in
+                      Tracer.join tracer (Array.to_list forks);
+                      Array.map2 (fun c r -> (c, r)) survivors results)
+              in
+              let t2 = Unix.gettimeofday () in
+              evaluate_time := !evaluate_time +. (t2 -. t1);
+              let fresh = ref [] in
+              Array.iter
+                (fun (c, r) ->
+                  if not tier0_only then incr objective_evals;
+                  match r with
+                  | Ok score ->
+                    let node =
+                      {
+                        seq = c.cseq;
+                        canon = c.ccanon;
+                        state = c.cstate;
+                        result = c.cresult;
+                        score;
+                      }
+                    in
+                    SeqTbl.replace cache c.ccanon (Scored node);
+                    fresh := node :: !fresh
+                  | Error cause ->
+                    incr illegal;
+                    SeqTbl.replace cache c.ccanon (Failed cause);
+                    reject c.cseq cause)
+                scored;
+              List.rev !fresh
+          in
+          let t2 = Unix.gettimeofday () in
+          (* Merge: select the beam with the total order, advance the
+             branch-and-bound incumbent. *)
+          Tracer.span tracer "engine.merge" (fun () ->
+              let top =
+                List.filteri
+                  (fun k _ -> k < beam)
+                  (List.sort order (hits @ fresh))
+              in
+              (match top with
+              | best :: _ -> incumbent := Float.min !incumbent best.score
+              | [] -> ());
+              frontier := top;
+              bests := top @ !bests);
+          let t3 = Unix.gettimeofday () in
+          merge_time := !merge_time +. (t3 -. t2))
+    done;
+    let winner = List.hd (List.sort order !bests) in
+    let total = Unix.gettimeofday () -. t_start in
+    let stats =
+      {
+        Stats.nodes_explored = !explored;
+        duplicates_pruned = !duplicates;
+        legality_cache_hits = !legality_hits;
+        score_cache_hits = !score_hits;
+        illegal = !illegal;
+        template_applications = !applications;
+        template_applications_saved = !saved;
+        objective_evaluations = !objective_evals;
+        tier0_evaluations = !tier0_evals;
+        tier0_pruned = !tier0_pruned;
+        domains;
+        work_threshold = (if domains > 1 then Pool.default_threshold else 0);
+        expand_time_s = !expand_time;
+        evaluate_time_s = !evaluate_time;
+        merge_time_s = !merge_time;
+        total_time_s = total;
+      }
+    in
+    Option.iter (fun m -> Stats.record m stats) metrics;
+    Some
+      {
+        sequence = winner.seq;
+        canonical = winner.canon;
+        result = winner.result;
+        score = winner.score;
+        stats;
+        rejections = List.rev !rejections;
+        decisions = List.rev !decisions;
+      }

@@ -1,4 +1,4 @@
-(** Incremental, memoized, multicore transformation search.
+(** Incremental, memoized, multicore, two-tier transformation search.
 
     Same beam search as {!Search.best} — same moves, same beam/steps
     defaults, same winner — but engineered for throughput:
@@ -11,21 +11,31 @@
       canonical sequence answers re-derived transformations (interchange
       twice, reversal pairs, composed unimodulars, ...) without touching
       the framework;
-    - {b multicore}: cache misses are evaluated across a {!Pool} of OCaml 5
-      domains. Merging is order-preserving and candidates are ranked by a
-      total order (score, canonical sequence, raw sequence), so results
-      are bit-identical to a sequential run.
+    - {b two-tier objective} (pass [~tier0]): every legal candidate is
+      first scored by the analytic {!Costmodel} (no simulation); the
+      tier-0 rank screens candidates so only the best [~exact_topk] per
+      step reach the exact simulator, and the admissible tier-0 [bound]
+      cuts whole subtrees branch-and-bound style against the best exact
+      score seen so far (only when {!Costmodel.subtree_admissible});
+    - {b multicore}: cache misses are evaluated across the process-wide
+      persistent {!Pool.shared} of OCaml 5 domains ([domains = 1] never
+      touches it), with small steps running sequentially
+      ({!Pool.map_auto}). Merging is order-preserving, candidates are
+      ranked by a total order (score, canonical sequence, raw sequence),
+      and the branch-and-bound incumbent only advances between steps —
+      so results are bit-identical to a sequential run.
 
     {b Observability}: pass a {!Itf_obs.Tracer} to record the span tree
-    (search → step → expand/evaluate/merge → per-candidate legality and
-    objective spans; the simulators attach below the objective via the
-    ambient tracer). Per-candidate spans are forked and joined in input
-    order, so the span tree and all metric totals are identical between
-    sequential and parallel runs — timings aside. Pass a
-    {!Itf_obs.Metrics} registry to accumulate
+    (search → step → expand / tier0 / exact (or evaluate, untiered) /
+    merge → per-candidate legality and objective spans; the simulators
+    attach below the objective via the ambient tracer). Per-candidate
+    spans are forked and joined in input order, so the span tree and all
+    metric totals are identical between sequential and parallel runs —
+    timings aside. Pass a {!Itf_obs.Metrics} registry to accumulate
     [legality.rejections{reason=...}] counters and the {!Stats} record;
     pass [~provenance:true] to keep every rejected candidate with its
-    structured cause ([loopt optimize --explain]).
+    structured cause plus, on tiered searches, every tier-0 screening
+    {!decision} ([loopt optimize --explain]).
 
     {!Stats} records what was done and what was avoided. *)
 
@@ -35,6 +45,22 @@ type cause =
   | Rejected of Itf_core.Legality.reason list
       (** the legality test failed, with the structured reasons *)
   | Unscoreable  (** legal, but the objective returned NaN or raised *)
+
+(** What the tier-0 screen did with one legal candidate. *)
+type tier0_verdict =
+  | Survived  (** forwarded to the exact simulator *)
+  | Screened_out  (** legal, but ranked outside the top [exact_topk] *)
+  | Bound_pruned
+      (** admissible bound already exceeds the incumbent exact score: the
+          candidate (and, for subtree-admissible specs, all its
+          descendants) can never win *)
+
+type decision = {
+  candidate : Itf_core.Sequence.t;
+  tier0_score : float;
+  tier0_bound : float;
+  verdict : tier0_verdict;
+}
 
 type rejection = { candidate : Itf_core.Sequence.t; cause : cause }
 
@@ -47,6 +73,9 @@ type outcome = {
   rejections : rejection list;
       (** every rejected candidate in deterministic merge order, with its
           cause — empty unless [~provenance:true] *)
+  decisions : decision list;
+      (** every tier-0 screening decision in deterministic screen order —
+          empty unless [~provenance:true] and [~tier0] *)
 }
 
 val pp_cause : Format.formatter -> cause -> unit
@@ -55,9 +84,16 @@ val cause_labels : cause -> string list
 (** Metric-label slugs of a cause ({!Itf_core.Legality.reason_label}, or
     ["unscoreable"]). *)
 
+val verdict_label : tier0_verdict -> string
+(** ["survived"], ["screened_out"] or ["bound_pruned"]. *)
+
 val default_domains : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core for
     the rest of the process. *)
+
+val default_exact_topk : int
+(** Default [~exact_topk]: exact objective evaluations per step on tiered
+    searches. *)
 
 val search :
   ?beam:int ->
@@ -67,6 +103,9 @@ val search :
   ?tracer:Itf_obs.Tracer.t ->
   ?metrics:Itf_obs.Metrics.t ->
   ?provenance:bool ->
+  ?tier0:Costmodel.spec ->
+  ?exact_topk:int ->
+  ?tier0_only:bool ->
   Nest.t ->
   Search.objective ->
   outcome option
@@ -74,6 +113,17 @@ val search :
     [beam = 6], [steps = 3]) and returns the same best score and canonical
     sequence. [domains] is the total parallelism (default
     {!default_domains}; [1] runs entirely on the calling domain).
+
+    [tier0], when given, enables the two-tier evaluator: the {!Costmodel}
+    spec should mirror the exact objective (same cache geometry /
+    processor count / parameters). [exact_topk] (default
+    {!default_exact_topk}, clamped to at least [beam]) caps exact
+    simulations per step; [tier0_only] (requires [tier0]) skips the exact
+    simulator entirely and beam-searches on tier-0 scores alone — the
+    untrusted-but-fast escape hatch, whose winner is {e not} guaranteed to
+    match the exact search.
+
     [tracer]/[metrics] default to disabled; [provenance] (default false)
-    retains per-candidate rejection causes in the outcome. Returns [None]
-    when not even the untransformed nest is scoreable. *)
+    retains per-candidate rejection causes and tier-0 decisions in the
+    outcome. Returns [None] when not even the untransformed nest is
+    scoreable. *)

@@ -3,10 +3,11 @@
    Workers block on a condition variable waiting for jobs; [map] publishes
    one index-draining job per worker and the submitting thread drains
    indices too, so a pool of [w] workers gives [w + 1]-way parallelism.
-   Results are written into per-index slots, which makes [map] order- and
-   schedule-independent: output.(i) is always [f input.(i)], so a merge
-   over the output array is deterministic regardless of how the domains
-   interleave. *)
+   Indices are stolen in chunks (one atomic fetch per chunk, not per
+   element) and results are written into per-index slots, which makes
+   [map] order- and schedule-independent: output.(i) is always
+   [f input.(i)], so a merge over the output array is deterministic
+   regardless of how the domains interleave. *)
 
 type t = {
   mutable workers : unit Domain.t list;
@@ -53,6 +54,13 @@ let create workers =
 
 let size t = List.length t.workers
 
+let grow t workers =
+  Mutex.lock t.mutex;
+  let missing = workers - List.length t.workers in
+  let fresh = List.init (max 0 missing) (fun _ -> Domain.spawn (fun () -> worker t)) in
+  t.workers <- fresh @ t.workers;
+  Mutex.unlock t.mutex
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.shutdown <- true;
@@ -60,11 +68,57 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join t.workers
 
-let map t f (input : 'a array) : 'b array =
+(* ------------------------------------------------------------------ *)
+(* The process-wide shared pool                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Spawning a domain costs hundreds of microseconds — comparable to a whole
+   small search. The engine therefore reuses one persistent pool across
+   searches instead of forking per call; it only ever grows, and is torn
+   down at process exit. *)
+let shared_mutex = Mutex.create ()
+let shared_ref = ref None
+
+let shared ~workers () =
+  Mutex.lock shared_mutex;
+  let t =
+    match !shared_ref with
+    | Some t ->
+      grow t workers;
+      t
+    | None ->
+      let t = create (max 0 workers) in
+      shared_ref := Some t;
+      at_exit (fun () ->
+          Mutex.lock shared_mutex;
+          let p = !shared_ref in
+          shared_ref := None;
+          Mutex.unlock shared_mutex;
+          Option.iter shutdown p);
+      t
+  in
+  Mutex.unlock shared_mutex;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Parallel map                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_threshold = 24
+
+let map ?chunk t f (input : 'a array) : 'b array =
   let n = Array.length input in
   if n = 0 then [||]
   else if t.workers = [] then Array.map f input
   else begin
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | _ ->
+        (* Size-adaptive: enough chunks for balance (4 per participant),
+           few enough that atomic traffic stays negligible. *)
+        max 1 (n / (4 * (List.length t.workers + 1)))
+    in
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let remaining = Atomic.make n in
@@ -72,11 +126,13 @@ let map t f (input : 'a array) : 'b array =
     let done_cond = Condition.create () in
     let drain () =
       let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
+        let i = Atomic.fetch_and_add next chunk in
         if i < n then begin
-          let r = try Ok (f input.(i)) with e -> Error e in
-          results.(i) <- Some r;
-          if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          let stop = min n (i + chunk) in
+          for k = i to stop - 1 do
+            results.(k) <- Some (try Ok (f input.(k)) with e -> Error e)
+          done;
+          if Atomic.fetch_and_add remaining (i - stop) = stop - i then begin
             Mutex.lock done_mutex;
             Condition.signal done_cond;
             Mutex.unlock done_mutex
@@ -103,3 +159,10 @@ let map t f (input : 'a array) : 'b array =
         | None -> assert false)
       results
   end
+
+let map_auto ?(threshold = default_threshold) t f input =
+  (* Fan-out has a fixed cost (publishing jobs, waking workers, the final
+     rendezvous) that dwarfs small batches: below the threshold, stay on
+     the calling thread. *)
+  if Array.length input < threshold then Array.map f input
+  else map t f input

@@ -11,15 +11,32 @@ val create : int -> t
 (** [create w] spawns [w] worker domains ([w = 0] gives a sequential pool
     that runs everything on the calling thread). *)
 
+val shared : workers:int -> unit -> t
+(** The process-wide persistent pool, created on first use and reused
+    across searches (domain spawn costs rival a whole small search). Grows
+    to at least [workers] worker domains, never shrinks, and is shut down
+    at process exit. Do not call {!shutdown} on it. *)
+
 val size : t -> int
 (** Number of worker domains (excluding the calling thread, which also
     participates in [map]). *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val default_threshold : int
+(** Default work threshold of {!map_auto}: batches smaller than this run
+    on the calling thread. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map; blocks until every element is done. The
     calling thread works alongside the pool, so parallelism is [size + 1].
-    If [f] raises on any element, the first such exception (in index order)
-    is re-raised after all elements finish. *)
+    Indices are claimed in chunks of [chunk] (default: size-adaptive, about
+    four chunks per participant). If [f] raises on any element, the first
+    such exception (in index order) is re-raised after all elements
+    finish. *)
+
+val map_auto : ?threshold:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** As {!map}, but batches smaller than [threshold] (default
+    {!default_threshold}) run sequentially on the calling thread — the
+    fan-out rendezvous costs more than it buys on small steps. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains. The pool must not be used

@@ -7,7 +7,10 @@ type t = {
   template_applications : int;
   template_applications_saved : int;
   objective_evaluations : int;
+  tier0_evaluations : int;
+  tier0_pruned : int;
   domains : int;
+  work_threshold : int;
   expand_time_s : float;
   evaluate_time_s : float;
   merge_time_s : float;
@@ -24,7 +27,10 @@ let zero =
     template_applications = 0;
     template_applications_saved = 0;
     objective_evaluations = 0;
+    tier0_evaluations = 0;
+    tier0_pruned = 0;
     domains = 1;
+    work_threshold = 0;
     expand_time_s = 0.;
     evaluate_time_s = 0.;
     merge_time_s = 0.;
@@ -40,12 +46,14 @@ let pp ppf s =
      illegal candidates    %d@,\
      template applications %d (saved %d vs from-root replay)@,\
      objective evaluations %d@,\
-     domains               %d@,\
+     tier-0 evaluations    %d (pruned %d candidates before the exact tier)@,\
+     domains               %d (sequential below %d candidates/step)@,\
      time: expand %.3fs, evaluate %.3fs, merge %.3fs, total %.3fs@]"
     s.nodes_explored s.duplicates_pruned s.legality_cache_hits
     s.score_cache_hits s.illegal s.template_applications
-    s.template_applications_saved s.objective_evaluations s.domains
-    s.expand_time_s s.evaluate_time_s s.merge_time_s s.total_time_s
+    s.template_applications_saved s.objective_evaluations s.tier0_evaluations
+    s.tier0_pruned s.domains s.work_threshold s.expand_time_s s.evaluate_time_s
+    s.merge_time_s s.total_time_s
 
 let to_json_value s =
   Itf_obs.Json.Obj
@@ -59,7 +67,10 @@ let to_json_value s =
       ( "template_applications_saved",
         Itf_obs.Json.Int s.template_applications_saved );
       ("objective_evaluations", Itf_obs.Json.Int s.objective_evaluations);
+      ("tier0_evaluations", Itf_obs.Json.Int s.tier0_evaluations);
+      ("tier0_pruned", Itf_obs.Json.Int s.tier0_pruned);
       ("domains", Itf_obs.Json.Int s.domains);
+      ("work_threshold", Itf_obs.Json.Int s.work_threshold);
       ("expand_time_s", Itf_obs.Json.Float s.expand_time_s);
       ("evaluate_time_s", Itf_obs.Json.Float s.evaluate_time_s);
       ("merge_time_s", Itf_obs.Json.Float s.merge_time_s);
@@ -79,9 +90,15 @@ let record metrics s =
   c "engine.template_applications" s.template_applications;
   c "engine.template_applications_saved" s.template_applications_saved;
   c "engine.objective_evaluations" s.objective_evaluations;
+  c "objective.exact_evals" s.objective_evaluations;
+  c "objective.tier0_evals" s.tier0_evaluations;
+  c "objective.tier0_pruned" s.tier0_pruned;
   Itf_obs.Metrics.set
     (Itf_obs.Metrics.gauge metrics "engine.domains")
     (float_of_int s.domains);
+  Itf_obs.Metrics.set
+    (Itf_obs.Metrics.gauge metrics "engine.work_threshold")
+    (float_of_int s.work_threshold);
   Itf_obs.Metrics.observe
     (Itf_obs.Metrics.histogram metrics "engine.total_time_ms")
     (s.total_time_s *. 1e3)

@@ -19,8 +19,16 @@ type t = {
   illegal : int;  (** candidates rejected (bounds, dependence, unscoreable) *)
   template_applications : int;
   template_applications_saved : int;
-  objective_evaluations : int;  (** objective simulations actually run *)
+  objective_evaluations : int;  (** exact objective simulations actually run *)
+  tier0_evaluations : int;
+      (** tier-0 cost-model estimates computed (0 on untiered searches) *)
+  tier0_pruned : int;
+      (** legal candidates denied an exact evaluation by the tier-0 screen
+          (outside top-K) or the branch-and-bound cutoff *)
   domains : int;  (** parallelism used (1 = sequential) *)
+  work_threshold : int;
+      (** steps with fewer evaluation candidates than this ran on the
+          calling thread even when [domains > 1] (see {!Pool.map_auto}) *)
   expand_time_s : float;  (** move generation + canonicalization + dedupe *)
   evaluate_time_s : float;  (** legality + objective evaluation (all domains) *)
   merge_time_s : float;  (** deterministic sort/beam selection *)
@@ -39,6 +47,8 @@ val to_json : t -> string
 
 val record : Itf_obs.Metrics.t -> t -> unit
 (** Fold the record into a metrics registry: counters add under
-    [engine.*] names (so repeated searches accumulate), [engine.domains]
-    is a gauge, and the total time lands in an [engine.total_time_ms]
+    [engine.*] names (so repeated searches accumulate) plus the two-tier
+    objective counters [objective.exact_evals] / [objective.tier0_evals] /
+    [objective.tier0_pruned]; [engine.domains] and [engine.work_threshold]
+    are gauges, and the total time lands in an [engine.total_time_ms]
     histogram. *)

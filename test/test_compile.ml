@@ -332,6 +332,51 @@ let test_memsim_matmul_counts () =
   check_int "misses" a.Memsim.cache.Cache.misses b.Memsim.cache.Cache.misses;
   check_int "cycles" a.Memsim.cycles b.Memsim.cycles
 
+(* Scratch reuse (Memsim ?cache, Search's per-domain env): repeated
+   evaluations through reused scratch must be bit-identical to fresh
+   allocations — the contract the search engine's hot path relies on. *)
+let test_scratch_reuse () =
+  let scratch = Cache.create cache_config in
+  for _ = 1 to 20 do
+    let nest = gen_nest () in
+    let env_a = Builders.make_env ~params:[ ("n", 4) ] nest in
+    let env_b = Builders.make_env ~params:[ ("n", 4) ] nest in
+    (* The scratch cache arrives dirty from the previous iteration. *)
+    let ra = Memsim.run_compiled ~cache:scratch cache_config env_a nest in
+    let rb = Memsim.run_compiled cache_config env_b nest in
+    check_bool "scratch-cache stats bit-identical" true (ra = rb);
+    check_bool "final arrays equal" true
+      (Env.snapshot env_a = Env.snapshot env_b)
+  done;
+  (match
+     let nest = Builders.matmul () in
+     Memsim.run_compiled
+       ~cache:(Cache.create { cache_config with Cache.assoc = 1 })
+       cache_config
+       (Builders.make_env ~params:[ ("n", 4) ] nest)
+       nest
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "scratch cache geometry mismatch accepted");
+  (* Objective closures reuse a per-domain env + cache across evaluations:
+     scores must equal those of a freshly instantiated closure. *)
+  let nest = Builders.matmul () in
+  let results =
+    List.filter_map
+      (fun seq -> Result.to_option (Itf_core.Framework.apply nest seq))
+      [ []; [ Itf_core.Template.interchange ~n:3 0 2 ] ]
+  in
+  check_bool "have transformed results" true (List.length results = 2);
+  let reused = Itf_opt.Search.cache_misses ~params:[ ("n", 6) ] () in
+  List.iter
+    (fun r ->
+      let fresh = Itf_opt.Search.cache_misses ~params:[ ("n", 6) ] () in
+      let a = reused r in
+      let a' = reused r in
+      let b = fresh r in
+      check_bool "reused objective bit-identical" true (a = b && a' = b))
+    results
+
 let test_parallel_identical () =
   for _ = 1 to 40 do
     let nest = gen_nest () in
@@ -395,6 +440,8 @@ let () =
             test_memsim_differential;
           Alcotest.test_case "memsim matmul counts" `Quick
             test_memsim_matmul_counts;
+          Alcotest.test_case "scratch reuse bit-identical" `Quick
+            test_scratch_reuse;
           Alcotest.test_case "parallel time bit-identical" `Quick
             test_parallel_identical;
           Alcotest.test_case "search winners backend-independent" `Quick
