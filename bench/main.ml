@@ -23,10 +23,13 @@ module Json = Itf_obs.Json
 module Tracer = Itf_obs.Tracer
 
 (* Every BENCH_*.json this harness writes is versioned: bump "schema" when
-   a field changes meaning so downstream comparisons refuse stale files. *)
-let write_bench_json path fields =
+   a field changes meaning so downstream comparisons refuse stale files.
+   BENCH_search.json is at 4 (GC/allocation telemetry, intern-table stats
+   and the no-intern cross-check were added); BENCH_sim.json stays at 3. *)
+let write_bench_json ?(schema = 3) path fields =
   let oc = open_out path in
-  output_string oc (Json.to_string (Json.Obj (("schema", Json.Int 3) :: fields)));
+  output_string oc
+    (Json.to_string (Json.Obj (("schema", Json.Int schema) :: fields)));
   output_char oc '\n';
   close_out oc;
   Format.printf "wrote %s@." path
@@ -682,18 +685,28 @@ let bechamel_suite () =
    stdout and to BENCH_search.json in the working directory.
 
    This bench doubles as the regression gate CI runs: it [failwith]s if
-   any engine disagrees on the winner, if the tiered parallel run is more
-   than 1.2x slower than the tiered sequential run (best of two runs
-   each), or if the tier-0 screen saves less than 3x exact evaluations on
-   matmul/locality. *)
-let search_bench () =
+   any engine disagrees on the winner, if a [~intern:false] run (structural
+   cache keys, no objective/tier-0 memo) disagrees with the interned run,
+   if the tiered parallel run is more than 1.2x slower than the tiered
+   sequential run, if the tier-0 screen saves less than 3x exact
+   evaluations on matmul/locality, or — given [--baseline FILE] holding a
+   previously committed BENCH_search.json — if any case's new_seq_time_s
+   regressed more than 10% against that baseline both in absolute time and
+   normalized by the same file's old_time_s (the normalization absorbs
+   hardware differences; the AND keeps one noisy denominator from faking a
+   regression). *)
+let search_bench ?baseline () =
   section "EXP-SEARCH | search engine: two-tier + incremental + multicore";
   let module Search = Itf_opt.Search in
   let module Engine = Itf_opt.Engine in
   let module Costmodel = Itf_opt.Costmodel in
+  let module Hashcons = Itf_mat.Hashcons in
   (* Tier-0 specs mirror each case's exact objective: same cache geometry
      and parameters as [cache_misses], same procs/overhead as
-     [parallel_time] (2.0 is the simulator's default spawn overhead). *)
+     [parallel_time] (2.0 is the simulator's default spawn overhead).
+     Objectives are built through [mk_obj ~memo] so the no-intern
+     cross-check below can instantiate the same objective without the
+     process-wide score memo. *)
   let par_spec params =
     Costmodel.Parallel { procs = 4; spawn_overhead = 2.0; params }
   in
@@ -701,18 +714,18 @@ let search_bench () =
     [
       ( "stencil/parallel",
         stencil (),
-        Search.parallel_time ~procs:4 ~params:[ ("n", 10) ] (),
+        (fun ~memo -> Search.parallel_time ~memo ~procs:4 ~params:[ ("n", 10) ] ()),
         par_spec [ ("n", 10) ],
         3 );
       ( "matmul/locality",
         matmul (),
-        Search.cache_misses ~params:[ ("n", 16) ] (),
+        (fun ~memo -> Search.cache_misses ~memo ~params:[ ("n", 16) ] ()),
         Costmodel.Locality
           { config = cache_cfg; elem_bytes = 8; params = [ ("n", 16) ] },
         3 );
       ( "lu/parallel",
         lu (),
-        Search.parallel_time ~procs:4 ~params:[ ("n", 10) ] (),
+        (fun ~memo -> Search.parallel_time ~memo ~procs:4 ~params:[ ("n", 10) ] ()),
         par_spec [ ("n", 10) ],
         3 );
     ]
@@ -722,17 +735,70 @@ let search_bench () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
+  (* [time] plus allocation deltas (words allocated in the minor heap and
+     words promoted, from [Gc.quick_stat]) — the direct measure of what
+     hash-consing removes from the hot path. *)
+  let time_gc f =
+    let s0 = Gc.quick_stat () in
+    let r, t = time f in
+    let s1 = Gc.quick_stat () in
+    ( r,
+      t,
+      s1.Gc.minor_words -. s0.Gc.minor_words,
+      s1.Gc.promoted_words -. s0.Gc.promoted_words )
+  in
   (* Best-of-five for the runs whose timing ratio is enforced: these
      searches finish in milliseconds, so a single GC pause or scheduler
-     hiccup would otherwise dominate the ratio and fail the gate. *)
-  let time_min f =
+     hiccup would otherwise dominate the ratio and fail the gate. The
+     allocation deltas come from the fifth (warm) run: by then the
+     process-wide memo tables answer every repeated candidate, so they
+     report the steady-state allocation of a search, not the one-time
+     intern cost. *)
+  let time_min_gc f =
     let r, t0 = time f in
     let best = ref t0 in
-    for _ = 2 to 5 do
+    for _ = 2 to 4 do
       let _, t = time f in
       if t < !best then best := t
     done;
-    (r, !best)
+    let _, t, minor, promoted = time_gc f in
+    if t < !best then best := t;
+    (r, !best, minor, promoted)
+  in
+  (* Parse the committed baseline up front so a malformed file fails fast,
+     before minutes of benching. *)
+  let baseline_cases =
+    match baseline with
+    | None -> None
+    | Some path ->
+      let ic = open_in path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Json.of_string s with
+      | Error e -> failwith ("--baseline " ^ path ^ ": " ^ e)
+      | Ok j ->
+        (match Json.member "schema" j with
+        | Some (Json.Int 4) -> ()
+        | _ ->
+          failwith
+            ("--baseline " ^ path ^ ": expected schema 4 BENCH_search.json"));
+        Some
+          (Option.value ~default:[]
+             (Option.bind (Json.member "cases" j) Json.to_list)))
+  in
+  let baseline_times name =
+    Option.bind baseline_cases (fun cs ->
+        Option.map
+          (fun c ->
+            let f k =
+              match Option.bind (Json.member k c) Json.to_float with
+              | Some x -> x
+              | None -> failwith ("baseline case " ^ name ^ " missing " ^ k)
+            in
+            (f "old_time_s", f "new_seq_time_s"))
+          (List.find_opt
+             (fun c -> Json.member "name" c = Some (Json.String name))
+             cs))
   in
   let par_domains = Itf_opt.Engine.default_domains () in
   Format.printf "parallel runs use %d domains@." par_domains;
@@ -742,22 +808,33 @@ let search_bench () =
     ignore (Itf_opt.Pool.shared ~workers:(par_domains - 1) ());
   let jsons =
     List.map
-      (fun (name, nest, objective, spec, steps) ->
-        let old_, old_t = time (fun () -> Search.best ~steps nest objective) in
+      (fun (name, nest, mk_obj, spec, steps) ->
+        let objective = mk_obj ~memo:true in
+        let old_, old_t, old_minor, old_promoted =
+          time_gc (fun () -> Search.best ~steps nest objective)
+        in
         let unt_, unt_t =
           time (fun () -> Engine.search ~steps ~domains:1 nest objective)
         in
-        let seq_, seq_t =
-          time_min (fun () ->
+        let seq_, seq_t, seq_minor, seq_promoted =
+          time_min_gc (fun () ->
               Engine.search ~steps ~domains:1 ~tier0:spec nest objective)
         in
-        let par_, par_t =
-          time_min (fun () ->
+        let par_, par_t, _, _ =
+          time_min_gc (fun () ->
               Engine.search ~steps ~domains:par_domains ~tier0:spec nest
                 objective)
         in
-        match (old_, unt_, seq_, par_) with
-        | Some old_, Some unt_, Some seq_, Some par_ ->
+        (* Cross-check: structural cache keys and no score/tier-0 memo
+           must reproduce the interned winner exactly — intern ids are an
+           equality accelerator, never an input to candidate ordering. *)
+        let ni_, ni_t =
+          time (fun () ->
+              Engine.search ~steps ~domains:1 ~tier0:spec ~intern:false nest
+                (mk_obj ~memo:false))
+        in
+        match (old_, unt_, seq_, par_, ni_) with
+        | Some old_, Some unt_, Some seq_, Some par_, Some ni_ ->
           let agree (a : Engine.outcome) (b : Engine.outcome) =
             Itf_core.Sequence.compare a.Engine.canonical b.Engine.canonical = 0
             && a.Engine.score = b.Engine.score
@@ -772,6 +849,11 @@ let search_bench () =
           in
           if not same_winner then
             failwith (name ^ ": engines disagree on the winner");
+          let no_intern_same_winner = agree seq_ ni_ in
+          if not no_intern_same_winner then
+            failwith
+              (name
+             ^ ": interned and --no-intern searches disagree on the winner");
           let stats = seq_.Engine.stats in
           let apps = stats.Itf_opt.Stats.template_applications in
           let reduction =
@@ -785,7 +867,10 @@ let search_bench () =
             float exact_untiered /. float (max 1 exact_tiered)
           in
           let par_vs_seq = par_t /. seq_t in
-          if par_vs_seq > 1.2 then
+          (* The absolute term keeps the ratio gate meaningful now that
+             memoized runs finish in a few milliseconds: a 1ms scheduler
+             hiccup alone can exceed 1.2x. *)
+          if par_vs_seq > 1.2 && par_t -. seq_t > 0.005 then
             failwith
               (Printf.sprintf
                  "%s: tiered parallel run is %.2fx the sequential time \
@@ -797,6 +882,25 @@ let search_bench () =
                  "%s: tier-0 screen saves only %.2fx exact evaluations \
                   (%d -> %d, need >= 3x)"
                  name exact_reduction exact_untiered exact_tiered);
+          (match baseline_times name with
+          | None -> ()
+          | Some (base_old, base_seq) ->
+            let fresh_ratio = seq_t /. old_t in
+            let base_ratio = base_seq /. base_old in
+            (* 5ms noise floor: memoized searches run in single-digit
+               milliseconds, where 10% is below scheduler jitter; the
+               regressions this gate exists for (losing the memo or the
+               id-keyed cache) cost tens of milliseconds. *)
+            if
+              fresh_ratio > base_ratio *. 1.1
+              && seq_t > base_seq *. 1.1
+              && seq_t -. base_seq > 0.005
+            then
+              failwith
+                (Printf.sprintf
+                   "%s: new_seq_time_s regressed >10%% vs baseline \
+                    (normalized %.3f -> %.3f, absolute %.4fs -> %.4fs)"
+                   name base_ratio fresh_ratio base_seq seq_t));
           Format.printf
             "%-18s old %.3fs (%d applications) | untiered %.3fs (%d \
              applications, %.1fx fewer; %d exact evals) | tiered seq %.3fs \
@@ -805,6 +909,11 @@ let search_bench () =
             name old_t old_.Search.checked_templates unt_t apps reduction
             exact_untiered seq_t exact_tiered exact_reduction
             stats.Itf_opt.Stats.tier0_pruned par_t par_vs_seq same_winner;
+          Format.printf
+            "%-18s no-intern %.3fs (same winner: %b) | alloc/run: old %.0f \
+             minor words (%.0f promoted) vs warm tiered seq %.0f (%.0f)@."
+            "" ni_t no_intern_same_winner old_minor old_promoted seq_minor
+            seq_promoted;
           Json.Obj
             [
               ("name", Json.String name);
@@ -827,6 +936,12 @@ let search_bench () =
               ("exact_eval_reduction", Json.Float exact_reduction);
               ("par_vs_seq", Json.Float par_vs_seq);
               ("same_winner", Json.Bool same_winner);
+              ("no_intern_time_s", Json.Float ni_t);
+              ("no_intern_same_winner", Json.Bool no_intern_same_winner);
+              ("old_minor_words", Json.Float old_minor);
+              ("old_promoted_words", Json.Float old_promoted);
+              ("new_seq_minor_words", Json.Float seq_minor);
+              ("new_seq_promoted_words", Json.Float seq_promoted);
               ("stats_untiered", Itf_opt.Stats.to_json_value unt_.Engine.stats);
               ("stats_seq", Itf_opt.Stats.to_json_value stats);
               ("stats_par", Itf_opt.Stats.to_json_value par_.Engine.stats);
@@ -834,8 +949,27 @@ let search_bench () =
         | _ -> failwith (name ^ ": a search returned nothing"))
       cases
   in
-  write_bench_json "BENCH_search.json"
-    [ ("domains_par", Json.Int par_domains); ("cases", Json.List jsons) ]
+  (* Intern/memo table health at the end of the whole suite. *)
+  let intern_tables =
+    List.map
+      (fun s ->
+        Format.printf "intern %-16s size %6d  hits %8d  misses %6d@."
+          s.Hashcons.name s.Hashcons.size s.Hashcons.hits s.Hashcons.misses;
+        Json.Obj
+          [
+            ("name", Json.String s.Hashcons.name);
+            ("size", Json.Int s.Hashcons.size);
+            ("hits", Json.Int s.Hashcons.hits);
+            ("misses", Json.Int s.Hashcons.misses);
+          ])
+      (Hashcons.stats ())
+  in
+  write_bench_json ~schema:4 "BENCH_search.json"
+    [
+      ("domains_par", Json.Int par_domains);
+      ("cases", Json.List jsons);
+      ("intern_tables", Json.List intern_tables);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* EXP-SIM: compiled execution backend vs tree-walking interpreter     *)
@@ -959,7 +1093,15 @@ let sim_bench () =
 
 let () =
   if Array.exists (( = ) "--search") Sys.argv then begin
-    search_bench ();
+    let baseline =
+      let rec find = function
+        | "--baseline" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      find (Array.to_list Sys.argv)
+    in
+    search_bench ?baseline ();
     exit 0
   end;
   if Array.exists (( = ) "--sim") Sys.argv then begin

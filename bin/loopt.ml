@@ -212,7 +212,7 @@ let write_metrics metrics = function
 
 let optimize_cmd =
   let run nest_path objective params procs steps domains exact_topk tier0_only
-      show_stats stats_json explain trace_out metrics_out =
+      no_intern show_stats stats_json explain trace_out metrics_out =
     match parse_nest_file nest_path with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -229,10 +229,11 @@ let optimize_cmd =
       (* The tier-0 spec mirrors the exact objective's machine model so the
          screen ranks what the simulator will measure. [--exact-topk 0]
          disables the screen entirely (untiered exact search). *)
+      let memo = not no_intern in
       let obj, tier0 =
         match objective with
         | "locality" ->
-          ( Itf_opt.Search.cache_misses ?metrics ~params (),
+          ( Itf_opt.Search.cache_misses ?metrics ~memo ~params (),
             Itf_opt.Costmodel.Locality
               {
                 config =
@@ -241,7 +242,7 @@ let optimize_cmd =
                 params;
               } )
         | "parallel" ->
-          ( Itf_opt.Search.parallel_time ?metrics ~procs ~params (),
+          ( Itf_opt.Search.parallel_time ?metrics ~memo ~procs ~params (),
             Itf_opt.Costmodel.Parallel
               { procs; spawn_overhead = 2.0; params } )
         | other ->
@@ -256,7 +257,7 @@ let optimize_cmd =
       match
         Itf_opt.Engine.search ~steps ?domains ~tracer ?metrics
           ~provenance:explain ?tier0
-          ~exact_topk:(max 1 exact_topk) ~tier0_only nest obj
+          ~exact_topk:(max 1 exact_topk) ~tier0_only ~intern:memo nest obj
       with
       | None ->
         Printf.eprintf "error: nest could not be scored\n";
@@ -346,6 +347,16 @@ let optimize_cmd =
             "Score candidates with the analytic cost model alone — no \
              exact simulation at all. Fast, but the winner is an estimate.")
   in
+  let no_intern =
+    Arg.(
+      value & flag
+      & info [ "no-intern" ]
+          ~doc:
+            "Disable hash-consed cache keys and score memoization: the \
+             engine keys its candidate cache on structural sequence \
+             equality and recomputes every objective and tier-0 estimate. \
+             Same winner, slower — a differential-testing escape hatch.")
+  in
   let show_stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search instrumentation (cache hits, saved template applications, timings).")
   in
@@ -384,8 +395,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Search for a legal transformation sequence minimizing an objective.")
     Term.(
       const run $ nest_arg $ objective $ params_arg $ procs $ steps $ domains
-      $ exact_topk $ tier0_only $ show_stats $ stats_json $ explain
-      $ trace_out $ metrics_out)
+      $ exact_topk $ tier0_only $ no_intern $ show_stats $ stats_json
+      $ explain $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)

@@ -17,9 +17,12 @@ let output_depth ~input seq =
 
 let is_identity (t : Template.t) =
   match t with
-  | Template.Unimodular { n; m } -> Intmat.equal m (Intmat.identity n)
+  | Template.Unimodular { m; _ } -> Intmat.is_identity m
   | Template.Reverse_permute { rev; perm; _ } ->
-    Array.for_all not rev && Array.for_all2 ( = ) perm (Array.init (Array.length perm) Fun.id)
+    Array.for_all not rev
+    && (let ok = ref true in
+        Array.iteri (fun k p -> if p <> k then ok := false) perm;
+        !ok)
   | Template.Parallelize { parflag; _ } -> Array.for_all not parflag
   | Template.Block _ | Template.Coalesce _ | Template.Interleave _ -> false
 
@@ -50,30 +53,71 @@ let compose2 (a : Template.t) (b : Template.t) : Template.t option =
       Some (Template.unimodular (Intmat.mul m2 m1))
     | _ -> None)
 
-let rec pass = function
-  | [] -> []
-  | [ t ] -> if is_identity t then [] else [ t ]
-  | a :: b :: rest ->
-    if is_identity a then pass (b :: rest)
+(* [pass] preserves physical identity on unchanged suffixes (and returns
+   the input itself when no rule fires), so the fixpoint test in [reduce]
+   is a pointer comparison instead of a structural list compare. Every
+   rewrite shortens the list, so "structurally unchanged" and "physically
+   unchanged" coincide. *)
+let rec pass seq =
+  match seq with
+  | [] -> seq
+  | [ t ] -> if is_identity t then [] else seq
+  | a :: (b :: rest as tl) ->
+    if is_identity a then pass tl
     else (
       match compose2 a b with
       | Some c -> pass (c :: rest)
-      | None -> a :: pass (b :: rest))
+      | None ->
+        let tl' = pass tl in
+        if tl' == tl then seq else a :: tl')
 
 (* Each pass only shortens the list or leaves it unchanged, so this
    terminates. *)
 let rec reduce seq =
   let seq' = pass seq in
-  if seq' = seq then seq else reduce seq'
+  if seq' == seq then seq else reduce seq'
 
 let compose t u = reduce (t @ u)
 
 (* Identity of a sequence for memoization: two sequences are the "same
    transformation state" when their reductions coincide (e.g. interchange
    twice = identity), so search caches key on [reduce]. *)
-let compare (a : t) (b : t) = List.compare Template.compare a b
+let compare (a : t) (b : t) =
+  if a == b then 0 else List.compare Template.compare a b
 
 let equal a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing and integer-keyed reduction                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A sequence's intern key is the list of its templates' ids: one probe
+   after the (cached) per-template interning. *)
+module HC = Itf_mat.Hashcons.Keyed (Itf_mat.Hashcons.Ints_key)
+
+let table : t HC.t = HC.create "core.sequence"
+
+let intern_id (seq : t) : t * int =
+  let tis = Template.intern_ids seq in
+  HC.intern table (List.map snd tis) (fun _ -> List.map fst tis)
+
+let intern seq = fst (intern_id seq)
+let id seq = snd (intern_id seq)
+
+(* Canonicalization memo: sequence id -> interned reduction. [reduce] is
+   pure, so racing domains store the same canonical value; in the search
+   engine every raw candidate of every step funnels through here, turning
+   the repeated peephole walks (matrix products, identity checks) into one
+   table probe per distinct raw sequence. *)
+module RMemo = Itf_mat.Hashcons.Memo (Itf_mat.Hashcons.Int_key)
+
+let reduce_table : (t * int) RMemo.t = RMemo.create "core.reduce"
+
+let reduce_memo seq =
+  let seq', sid = intern_id seq in
+  RMemo.find_or_add reduce_table sid (fun () ->
+      let r = reduce seq' in
+      if r == seq' then (seq', sid) else intern_id r)
 
 let hash (seq : t) =
   List.fold_left

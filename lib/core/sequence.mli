@@ -44,4 +44,20 @@ val hash : t -> int
     spellings of the same transformation (e.g. interchange twice = identity)
     collide as intended. *)
 
+val intern : t -> t
+(** Canonical physically-shared sequence of interned templates (see
+    {!Itf_mat.Hashcons}). *)
+
+val intern_id : t -> t * int
+(** {!intern} plus the dense intern id: equal ids = equal sequences, an
+    O(1) stand-in for structural equality (NOT for the {!compare} order —
+    ids follow intern order). *)
+
+val id : t -> int
+
+val reduce_memo : t -> t * int
+(** [reduce_memo seq] = the interned [reduce seq] plus its id, memoized by
+    [seq]'s own id — the O(1)-amortized form of the search engines'
+    canonicalize-then-key-the-cache step. Domain-safe. *)
+
 val pp : Format.formatter -> t -> unit

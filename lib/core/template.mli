@@ -79,5 +79,15 @@ val equal : t -> t -> bool
 val hash : t -> int
 (** Structural hash compatible with [equal]. *)
 
+val intern : t -> t
+(** Canonical physically-shared instantiation (matrix and block/interleave
+    size expressions interned too); see {!Itf_mat.Hashcons}. *)
+
+val intern_id : t -> t * int
+(** {!intern} plus the dense intern id. Equal ids = equal templates; ids
+    are not an ordering. *)
+
+val intern_ids : t list -> (t * int) list
+
 val name : t -> string
 val pp : Format.formatter -> t -> unit

@@ -638,8 +638,20 @@ let dependences (nest : Nest.t) =
     refs;
   List.sort_uniq compare (List.rev !out)
 
+(* Memoized by interned-nest id: dependence analysis is pure in the nest
+   and costs milliseconds, while searches (and repeated searches over the
+   same kernel) re-ask for the same nest's vectors constantly. The compute
+   runs outside the table lock; racing domains recompute the same
+   deterministic list, so either store wins. Vectors are interned so every
+   caller shares one canonical list. *)
+module VMemo = Itf_mat.Hashcons.Memo (Itf_mat.Hashcons.Int_key)
+
+let vectors_memo : Depvec.t list VMemo.t = VMemo.create "dep.vectors"
+
 let vectors nest =
-  Depvec.dedupe (List.map (fun d -> d.vector) (dependences nest))
+  VMemo.find_or_add vectors_memo (Itf_ir.Intern.nest_id nest) (fun () ->
+      List.map Depvec.intern
+        (Depvec.dedupe (List.map (fun d -> d.vector) (dependences nest))))
 
 (* ------------------------------------------------------------------ *)
 (* Statement-level dependences                                         *)

@@ -63,8 +63,43 @@ let mem (d : t) (tuple : int array) =
 let subset (a : t) (b : t) =
   Array.length a = Array.length b && Array.for_all2 elem_subset a b
 
-let equal (a : t) (b : t) = a = b
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Explicit field-wise equality and ordering. The order reproduces what
+   [Stdlib.compare] gave this type exactly — arrays by length first, then
+   elementwise; [Dist _ < Dir _] by constructor tag; [Dir.t] by
+   constructor order — because {!dedupe}'s [sort_uniq] output order is
+   observable (vector lists in provenance and goldens). Hand-rolled so the
+   type can never silently fall back to polymorphic compare if it gains a
+   float or cyclic component. *)
+let elem_equal a b =
+  match (a, b) with
+  | Dist x, Dist y -> Int.equal x y
+  | Dir x, Dir y -> Dir.equal x y
+  | Dist _, Dir _ | Dir _, Dist _ -> false
+
+let elem_compare a b =
+  match (a, b) with
+  | Dist x, Dist y -> Int.compare x y
+  | Dir x, Dir y -> Dir.compare x y
+  | Dist _, Dir _ -> -1
+  | Dir _, Dist _ -> 1
+
+let equal (a : t) (b : t) =
+  a == b || (Array.length a = Array.length b && Array.for_all2 elem_equal a b)
+
+let compare (a : t) (b : t) =
+  if a == b then 0
+  else
+    let c = Int.compare (Array.length a) (Array.length b) in
+    if c <> 0 then c
+    else
+      let n = Array.length a in
+      let rec go k =
+        if k >= n then 0
+        else
+          let c = elem_compare a.(k) b.(k) in
+          if c <> 0 then c else go (k + 1)
+      in
+      go 0
 
 let elem_hash = function
   | Dist n -> (2 * n) + 1
@@ -74,6 +109,21 @@ let elem_hash = function
    the search engine's memo tables. *)
 let hash (d : t) =
   Array.fold_left (fun h e -> (h * 31) + elem_hash e) (Array.length d) d
+
+(* Hash-consing: canonical physically-shared vectors with dense ids, used
+   by the tier-0 estimate memo to key on (nest id, vector ids). Vectors
+   are immutable arrays; interning keys on structure. *)
+module HC = Itf_mat.Hashcons.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)
+
+let table = HC.create "dep.depvec"
+let intern_id (d : t) = HC.intern table d
+let intern d = fst (intern_id d)
+let id d = snd (intern_id d)
 
 let set_may_lex_negative ds = List.find_opt may_lex_negative ds
 

@@ -50,11 +50,25 @@ val mem : t -> int array -> bool
 val subset : t -> t -> bool
 (** Componentwise containment: [Tuples(a)] ⊆ [Tuples(b)]. *)
 
+val elem_equal : elem -> elem -> bool
+val elem_compare : elem -> elem -> int
+
 val equal : t -> t -> bool
+(** Explicit field-wise structural equality (no polymorphic [=]). *)
+
 val compare : t -> t -> int
+(** Explicit field-wise total order, identical to the order the
+    polymorphic compare produced (length first, then elementwise): the
+    output order of {!dedupe} is observable and must not change. *)
 
 val hash : t -> int
 (** Structural hash compatible with [equal] (memo-table keying). *)
+
+val intern : t -> t
+(** Canonical physically-shared representative (see {!Itf_mat.Hashcons}). *)
+
+val id : t -> int
+(** Dense intern id; equal ids = equal vectors. Not an ordering. *)
 
 (** {1 Sets of vectors} *)
 

@@ -56,7 +56,19 @@ let merge_lex a b =
       pos = sa.pos || (sa.zero && sb.pos);
     }
 
-let equal (a : t) (b : t) = a = b
+(* Explicit constructor-order tag — [t] is a plain enum, so this equals
+   what the polymorphic compare produced, without relying on it. *)
+let tag = function
+  | Zero -> 0
+  | Pos -> 1
+  | Neg -> 2
+  | NonNeg -> 3
+  | NonPos -> 4
+  | NonZero -> 5
+  | Any -> 6
+
+let equal (a : t) (b : t) = tag a = tag b
+let compare (a : t) (b : t) = Int.compare (tag a) (tag b)
 
 let to_string = function
   | Zero -> "0"

@@ -41,6 +41,11 @@ val merge_lex : t -> t -> t
     sign sets. *)
 
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order by constructor declaration order (identical to the order
+    the polymorphic compare gave this enum). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 val of_string : string -> t option

@@ -1,0 +1,195 @@
+(* Generic hash-consing and integer-keyed memoization.
+
+   Every table is append-only and guarded by one mutex, shared across
+   domains. All search-engine interning happens on the coordinator thread
+   (expand/merge are sequential), so a shared table beats per-domain
+   tables + id translation: the lock is uncontended there, and worker
+   domains only touch the tables through the objective/tier-0 memos,
+   whose critical sections are single probes. Dense ids are handed out in
+   interning order; they are stable for the life of the process and valid
+   as hash keys and equality witnesses, but NOT as an ordering — intern
+   order depends on evaluation order, so total orders stay structural
+   (see DESIGN.md section 10). *)
+
+type stats = { name : string; size : int; hits : int; misses : int }
+
+let registry : (unit -> stats) list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let register f =
+  Mutex.lock registry_mutex;
+  registry := f :: !registry;
+  Mutex.unlock registry_mutex
+
+let stats () =
+  Mutex.lock registry_mutex;
+  let fs = !registry in
+  Mutex.unlock registry_mutex;
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (List.rev_map (fun f -> f ()) fs)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+(* Key -> (value, id) tables where the canonical value is built from the
+   key on first sight. The builder runs under the table lock (it must be
+   cheap and must not re-enter the same table) so id assignment and
+   publication are atomic: every racer sees one canonical value per key. *)
+module Keyed (H : HashedType) = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type 'v t = {
+    tbl : ('v * int) Tbl.t;
+    mutex : Mutex.t;
+    mutable next : int;
+    mutable hits : int;
+    mutable misses : int;
+    name : string;
+  }
+
+  let create ?(initial = 256) name =
+    let t =
+      {
+        tbl = Tbl.create initial;
+        mutex = Mutex.create ();
+        next = 0;
+        hits = 0;
+        misses = 0;
+        name;
+      }
+    in
+    register (fun () ->
+        Mutex.lock t.mutex;
+        let s =
+          { name = t.name; size = t.next; hits = t.hits; misses = t.misses }
+        in
+        Mutex.unlock t.mutex;
+        s);
+    t
+
+  let intern t key build =
+    Mutex.lock t.mutex;
+    match Tbl.find_opt t.tbl key with
+    | Some ((_, _) as found) ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mutex;
+      found
+    | None ->
+      let id = t.next in
+      t.next <- id + 1;
+      t.misses <- t.misses + 1;
+      let entry =
+        match build id with
+        | v -> (v, id)
+        | exception e ->
+          (* Keep the table consistent (the id is burned, nothing maps
+             to it) and re-raise. *)
+          Mutex.unlock t.mutex;
+          raise e
+      in
+      Tbl.add t.tbl key entry;
+      Mutex.unlock t.mutex;
+      entry
+
+  let size t =
+    Mutex.lock t.mutex;
+    let n = t.next in
+    Mutex.unlock t.mutex;
+    n
+end
+
+(* Self-keyed hash-consing: the key IS the value; the first representative
+   interned becomes canonical for its equivalence class. *)
+module Make (H : HashedType) = struct
+  module K = Keyed (H)
+
+  type table = H.t K.t
+
+  let create ?initial name = K.create ?initial name
+  let intern t v = K.intern t v (fun _ -> v)
+  let size = K.size
+end
+
+(* Key -> value memoization of a pure function. Unlike [Keyed], the
+   compute runs OUTSIDE the lock: objective evaluations take milliseconds
+   and must not serialize worker domains. Racing computations of the same
+   key are benign — the function is pure and deterministic, so both
+   produce the same value and either store wins. *)
+module Memo (H : HashedType) = struct
+  module Tbl = Hashtbl.Make (H)
+
+  type 'v t = {
+    tbl : 'v Tbl.t;
+    mutex : Mutex.t;
+    mutable hits : int;
+    mutable misses : int;
+    name : string;
+  }
+
+  let create ?(initial = 256) name =
+    let t =
+      {
+        tbl = Tbl.create initial;
+        mutex = Mutex.create ();
+        hits = 0;
+        misses = 0;
+        name;
+      }
+    in
+    register (fun () ->
+        Mutex.lock t.mutex;
+        let s =
+          {
+            name = t.name;
+            size = Tbl.length t.tbl;
+            hits = t.hits;
+            misses = t.misses;
+          }
+        in
+        Mutex.unlock t.mutex;
+        s);
+    t
+
+  let find_or_add t key f =
+    Mutex.lock t.mutex;
+    match Tbl.find_opt t.tbl key with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mutex;
+      v
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.mutex;
+      let v = f () in
+      Mutex.lock t.mutex;
+      if not (Tbl.mem t.tbl key) then Tbl.add t.tbl key v;
+      Mutex.unlock t.mutex;
+      v
+
+  let size t =
+    Mutex.lock t.mutex;
+    let n = Tbl.length t.tbl in
+    Mutex.unlock t.mutex;
+    n
+end
+
+(* Common key shapes. *)
+
+module Int_key = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = x land max_int
+end
+
+module Ints_key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+  let hash l = List.fold_left (fun h x -> (h * 31) + x) (List.length l) l
+end

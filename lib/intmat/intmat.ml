@@ -1,5 +1,10 @@
-type t = { rows : int; cols : int; data : int array }
-(* Row-major storage; the record is never mutated after construction. *)
+type t = { rows : int; cols : int; data : int array; mutable id : int }
+(* Row-major storage; [rows]/[cols]/[data] are never mutated after
+   construction. [id] is -1 until {!intern} assigns the matrix its dense
+   hash-consing id; a non-negative id marks the canonical representative
+   (or a twin that learned its class's id). Construction does NOT intern:
+   determinant minors and intermediate products are transient and must not
+   grow the append-only table. *)
 
 type vec = int array
 
@@ -11,7 +16,7 @@ let make rows cols f =
       data.((i * cols) + j) <- f i j
     done
   done;
-  { rows; cols; data }
+  { rows; cols; data; id = -1 }
 
 let of_rows rws =
   match rws with
@@ -43,12 +48,19 @@ let to_rows t =
   List.init t.rows (fun i -> List.init t.cols (fun j -> get t i j))
 
 let equal a b =
-  a.rows = b.rows && a.cols = b.cols && a.data = b.data
+  a == b
+  || (a.id >= 0 && b.id >= 0 && a.id = b.id)
+  || ((a.id < 0 || b.id < 0)
+     && a.rows = b.rows && a.cols = b.cols && a.data = b.data)
 
 (* Explicit total order and hash (dimensions first, then row-major
    entries); [t] is abstract, so clients cannot fall back on the
-   polymorphic versions. *)
+   polymorphic versions. The order is structural, never id-based: ids
+   depend on intern order, and tie-breaks built on them would make search
+   winners scheduling-dependent. *)
 let compare a b =
+  if a == b then 0
+  else
   let c = Int.compare a.rows b.rows in
   if c <> 0 then c
   else
@@ -65,10 +77,60 @@ let compare a b =
       go 0
 
 let hash t =
-  Array.fold_left
-    (fun h x -> (h * 31) + x)
-    ((t.rows * 31) + t.cols)
-    t.data
+  if t.id >= 0 then t.id
+  else
+    Array.fold_left
+      (fun h x -> (h * 31) + x)
+      ((t.rows * 31) + t.cols)
+      t.data
+
+(* Hash-consing. The table keys on structure (dimensions + entries), so an
+   uninterned twin of a canonical matrix finds its class; the structural
+   probe hash must therefore ignore [id]. *)
+module HC = Hashcons.Make (struct
+  type nonrec t = t
+
+  let equal a b =
+    a == b || (a.rows = b.rows && a.cols = b.cols && a.data = b.data)
+
+  let hash t =
+    Array.fold_left
+      (fun h x -> (h * 31) + x)
+      ((t.rows * 31) + t.cols)
+      t.data
+end)
+
+let table = HC.create "mat.intmat"
+
+let intern_id t =
+  if t.id >= 0 then (t, t.id)
+  else begin
+    let c, id = HC.intern table t in
+    (* Publish the id on the canonical representative. Racing writers all
+       write the same value, so the unsynchronized store is benign. *)
+    if c.id < 0 then c.id <- id;
+    (c, id)
+  end
+
+let intern t = fst (intern_id t)
+let id t = snd (intern_id t)
+
+let is_identity t =
+  t.rows = t.cols
+  &&
+  let n = t.cols in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to n - 1 do
+         if t.data.((i * n) + j) <> (if i = j then 1 else 0) then begin
+           ok := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !ok
 
 let map2 name f a b =
   if a.rows <> b.rows || a.cols <> b.cols then

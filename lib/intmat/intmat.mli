@@ -38,12 +38,33 @@ val to_rows : t -> int list list
 (** {1 Algebra} *)
 
 val equal : t -> t -> bool
+(** Structural equality, O(1) when both sides are interned (id compare)
+    or physically equal. *)
 
 val compare : t -> t -> int
-(** Total order: dimensions first, then row-major entries. *)
+(** Total order: dimensions first, then row-major entries. Deliberately
+    structural even for interned matrices — ids depend on intern order and
+    are not a deterministic order. *)
 
 val hash : t -> int
-(** Structural hash compatible with [equal]. *)
+(** Hash compatible with [equal]: the intern id when interned (O(1)),
+    the structural fold otherwise. *)
+
+val is_identity : t -> bool
+(** [is_identity t] = [equal t (identity (rows t))] for square [t], false
+    otherwise — without allocating the identity. *)
+
+(** {1 Hash-consing} *)
+
+val intern : t -> t
+(** Canonical physically-shared representative of [t]'s structural
+    equivalence class, registered in the global append-only table (see
+    {!Hashcons}). Idempotent; [intern a == intern b] iff [equal a b]. *)
+
+val id : t -> int
+(** Dense intern id of [t]'s class (interning it first if needed). Equal
+    ids = equal matrices; ids are stable for the process lifetime but are
+    NOT ordered meaningfully. *)
 
 val add : t -> t -> t
 val sub : t -> t -> t

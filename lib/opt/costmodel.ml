@@ -510,17 +510,56 @@ let parallel_estimate ~procs ~spawn_overhead ~params (result : Framework.result)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let make spec : Framework.result -> estimate =
-  fun result ->
-   match
-     match spec with
-     | Locality { config; elem_bytes; params } ->
-       locality_estimate ~config ~elem_bytes ~params result
-     | Parallel { procs; spawn_overhead; params } ->
-       parallel_estimate ~procs ~spawn_overhead ~params result
-   with
-   | e -> e
-   | exception _ ->
-     (* Unanalyzable: claim nothing (bound 0) and rank first so the exact
-        tier decides. *)
-     { score = 0.; bound = 0. }
+(* Tier-0 estimate memo, shared by every instantiation and persistent
+   across searches. The estimator is pure in (spec, nest, vectors), so the
+   key is a static spec fingerprint plus the interned nest and vector ids
+   — one cheap int-list probe replaces the whole interval-analysis +
+   subscript-flattening walk on every re-derived candidate. *)
+module EMemo = Itf_mat.Hashcons.Memo (Itf_mat.Hashcons.Ints_key)
+
+let memo_table : estimate EMemo.t = EMemo.create "opt.tier0"
+
+let float_bits x =
+  (* Two int halves: OCaml ints are 63-bit, so a single [Int64.to_int]
+     would silently drop the sign bit. *)
+  let b = Int64.bits_of_float x in
+  [ Int64.to_int (Int64.shift_right_logical b 32); Int64.to_int (Int64.logand b 0xFFFFFFFFL) ]
+
+let fingerprint = function
+  | Locality { config; elem_bytes; params } ->
+    0
+    :: config.Itf_machine.Cache.size_bytes
+    :: config.Itf_machine.Cache.line_bytes
+    :: config.Itf_machine.Cache.assoc :: elem_bytes
+    :: List.concat_map
+         (fun (v, x) -> [ Itf_ir.Intern.str_id v; x ])
+         params
+  | Parallel { procs; spawn_overhead; params } ->
+    (1 :: procs :: float_bits spawn_overhead)
+    @ List.concat_map (fun (v, x) -> [ Itf_ir.Intern.str_id v; x ]) params
+
+let make ?(memo = true) spec : Framework.result -> estimate =
+  let base result =
+    match
+      match spec with
+      | Locality { config; elem_bytes; params } ->
+        locality_estimate ~config ~elem_bytes ~params result
+      | Parallel { procs; spawn_overhead; params } ->
+        parallel_estimate ~procs ~spawn_overhead ~params result
+    with
+    | e -> e
+    | exception _ ->
+      (* Unanalyzable: claim nothing (bound 0) and rank first so the exact
+         tier decides. *)
+      { score = 0.; bound = 0. }
+  in
+  if not memo then base
+  else
+    let fp = fingerprint spec in
+    fun result ->
+      let nid = Itf_ir.Intern.nest_id result.Framework.nest in
+      let key =
+        fp
+        @ (nid :: List.map Itf_dep.Depvec.id result.Framework.vectors)
+      in
+      EMemo.find_or_add memo_table key (fun () -> base result)

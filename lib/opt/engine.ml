@@ -48,11 +48,25 @@ let verdict_label = function
   | Screened_out -> "screened_out"
   | Bound_pruned -> "bound_pruned"
 
-module SeqTbl = Hashtbl.Make (struct
-  type t = Sequence.t
+(* Cache key of a candidate's canonical sequence. With interning on it is
+   the canonical sequence's dense intern id — hashing and equality are
+   single integer operations, and {!Sequence.reduce_memo} already computed
+   it. With interning off ([~intern:false]) it falls back to the canonical
+   sequence itself under structural equality. Ids are used for {e
+   equality only}, never ordering: [order] below stays structural, so
+   winners are independent of intern-table history. *)
+type ckey = Id of int | Canon of Sequence.t
 
-  let equal = Sequence.equal
-  let hash = Sequence.hash
+module KeyTbl = Hashtbl.Make (struct
+  type t = ckey
+
+  let equal a b =
+    match (a, b) with
+    | Id x, Id y -> Int.equal x y
+    | Canon x, Canon y -> Sequence.equal x y
+    | Id _, Canon _ | Canon _, Id _ -> false
+
+  let hash = function Id x -> x land max_int | Canon s -> Sequence.hash s
 end)
 
 (* A frontier node: a legality-checked, exactly scored candidate. [state]
@@ -62,6 +76,7 @@ end)
 type node = {
   seq : Sequence.t;
   canon : Sequence.t;
+  key : ckey;
   state : Framework.state;
   result : Framework.result;
   score : float;
@@ -73,6 +88,7 @@ type node = {
 type checked = {
   cseq : Sequence.t;
   ccanon : Sequence.t;
+  ckey : ckey;
   cstate : Framework.state;
   cresult : Framework.result;
   cest : Costmodel.estimate;
@@ -147,15 +163,28 @@ let default_exact_topk = 12
 
 let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
     ?(tracer = Tracer.null) ?metrics ?(provenance = false) ?tier0
-    ?(exact_topk = default_exact_topk) ?(tier0_only = false) nest
-    (objective : Search.objective) =
+    ?(exact_topk = default_exact_topk) ?(tier0_only = false)
+    ?(intern = true) nest (objective : Search.objective) =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
   (* A beam member must carry a score, so the exact tier can never feed
      the beam fewer candidates than it holds. *)
   let exact_topk = max beam exact_topk in
-  let tier0_fn = Option.map Costmodel.make tier0 in
+  let tier0_fn = Option.map (Costmodel.make ~memo:intern) tier0 in
+  (* Canonicalize one candidate and produce its cache key. Interned:
+     {!Sequence.reduce_memo} memoizes the peephole reduction itself by
+     sequence id and returns the canonical's id for O(1) cache probes.
+     All interning happens here, on the sequential coordinator thread —
+     worker domains never touch the intern tables. *)
+  let canon_key =
+    if intern then fun cand ->
+      let c, cid = Sequence.reduce_memo cand in
+      (c, Id cid)
+    else fun cand ->
+      let c = Sequence.reduce cand in
+      (c, Canon c)
+  in
   let subtree_prune =
     match tier0 with Some s -> Costmodel.subtree_admissible s | None -> false
   in
@@ -224,6 +253,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   let vectors = Itf_dep.Analysis.vectors nest in
   let root =
     incr explored;
+    let _, root_key = canon_key [] in
     let st = Framework.start ~vectors nest in
     match Framework.finish st with
     | Error _ -> None
@@ -233,7 +263,14 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
         incr tier0_evals;
         let est = t0 result in
         Some
-          { seq = []; canon = []; state = st; result; score = est.Costmodel.score }
+          {
+            seq = [];
+            canon = [];
+            key = root_key;
+            state = st;
+            result;
+            score = est.Costmodel.score;
+          }
       | _ -> (
         incr objective_evals;
         match
@@ -242,22 +279,25 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
             (fun () -> Tracer.with_ambient tracer (fun () -> objective result))
         with
         | score when Float.is_nan score -> None
-        | score -> Some { seq = []; canon = []; state = st; result; score }
+        | score ->
+          Some
+            { seq = []; canon = []; key = root_key; state = st; result; score }
         | exception _ -> None))
   in
   match root with
   | None -> None
   | Some root ->
-    (* Cross-step memo keyed on canonical (peephole-reduced) sequences:
-       [Scored] is a previously evaluated legal candidate, [Checked] one
-       that only reached the tier-0 screen, [Failed] a rejected one whose
-       cause replays on every re-derived spelling. E.g. reversal twice
-       reduces to [] and is answered by the root's entry without touching
-       the framework. The cache is written exclusively by the merging
-       thread (workers fill per-index result slots), so parallel runs stay
-       bit-identical to sequential ones. *)
-    let cache : entry SeqTbl.t = SeqTbl.create 256 in
-    SeqTbl.add cache root.canon (Scored root);
+    (* Cross-step memo keyed on canonical (peephole-reduced) sequences —
+       by intern id when interning is on (integer probes), structurally
+       otherwise: [Scored] is a previously evaluated legal candidate,
+       [Checked] one that only reached the tier-0 screen, [Failed] a
+       rejected one whose cause replays on every re-derived spelling.
+       E.g. reversal twice reduces to [] and is answered by the root's
+       entry without touching the framework. The cache is written
+       exclusively by the merging thread (workers fill per-index result
+       slots), so parallel runs stay bit-identical to sequential ones. *)
+    let cache : entry KeyTbl.t = KeyTbl.create 256 in
+    KeyTbl.add cache root.key (Scored root);
     (* Best exact score seen so far — the branch-and-bound incumbent. Only
        updated between steps, so every candidate of one step faces the
        same cutoff regardless of evaluation order. *)
@@ -275,7 +315,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
              single-domain. *)
           let hits, checked_hits, misses =
             Tracer.span tracer "engine.expand" (fun () ->
-                let seen = SeqTbl.create 64 in
+                let seen = KeyTbl.create 64 in
                 let hits = ref [] in
                 let checked_hits = ref [] in
                 let misses = ref [] in
@@ -285,22 +325,23 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     List.iter
                       (fun t ->
                         let cand = parent.seq @ [ t ] in
-                        let canon = Sequence.reduce cand in
-                        if SeqTbl.mem seen canon then incr duplicates
+                        let canon, key = canon_key cand in
+                        if KeyTbl.mem seen key then incr duplicates
                         else begin
-                          SeqTbl.add seen canon ();
+                          KeyTbl.add seen key ();
                           incr explored;
-                          match SeqTbl.find_opt cache canon with
+                          match KeyTbl.find_opt cache key with
                           | Some (Scored cached) ->
                             incr legality_hits;
                             incr score_hits;
                             saved := !saved + List.length cand;
-                            hits := { cached with seq = cand; canon } :: !hits
+                            hits :=
+                              { cached with seq = cand; canon; key } :: !hits
                           | Some (Checked c) ->
                             incr legality_hits;
                             saved := !saved + List.length cand;
                             checked_hits :=
-                              { c with cseq = cand; ccanon = canon }
+                              { c with cseq = cand; ccanon = canon; ckey = key }
                               :: !checked_hits
                           | Some (Failed cause) ->
                             incr legality_hits;
@@ -308,7 +349,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                             saved := !saved + List.length cand;
                             reject cand cause
                           | None ->
-                            misses := (parent, t, cand, canon) :: !misses
+                            misses := (parent, t, cand, canon, key) :: !misses
                         end)
                       (Search.moves ?block_sizes nest ~depth))
                   !frontier;
@@ -343,7 +384,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     in
                     let tasks =
                       Array.mapi
-                        (fun i (parent, t, _, _) -> (forks.(i), parent, t))
+                        (fun i (parent, t, _, _, _) -> (forks.(i), parent, t))
                         misses
                     in
                     let results =
@@ -366,20 +407,20 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               let fresh = ref [] in
               Array.iteri
                 (fun i (r, apps, obj_ran) ->
-                  let _, _, cand, canon = misses.(i) in
+                  let _, _, cand, canon, key = misses.(i) in
                   applications := !applications + apps;
                   saved := !saved + max 0 (List.length cand - apps);
                   if obj_ran then incr objective_evals;
                   match r with
                   | Ok (st, result, score) ->
                     let node =
-                      { seq = cand; canon; state = st; result; score }
+                      { seq = cand; canon; key; state = st; result; score }
                     in
-                    SeqTbl.replace cache canon (Scored node);
+                    KeyTbl.replace cache key (Scored node);
                     fresh := node :: !fresh
                   | Error cause ->
                     incr illegal;
-                    SeqTbl.replace cache canon (Failed cause);
+                    KeyTbl.replace cache key (Failed cause);
                     reject cand cause)
                 results;
               List.rev !fresh
@@ -392,13 +433,14 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     [ ("candidates", Int (Array.length misses)) ])
                   (fun () ->
                     pmap
-                      (fun (parent, t, _, _) -> evaluate_tier0 t0 (parent, t))
+                      (fun (parent, t, _, _, _) ->
+                        evaluate_tier0 t0 (parent, t))
                       misses)
               in
               let pending = ref [] in
               Array.iteri
                 (fun i (r, apps) ->
-                  let _, _, cand, canon = misses.(i) in
+                  let _, _, cand, canon, key = misses.(i) in
                   applications := !applications + apps;
                   saved := !saved + max 0 (List.length cand - apps);
                   match r with
@@ -408,6 +450,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                       {
                         cseq = cand;
                         ccanon = canon;
+                        ckey = key;
                         cstate = st;
                         cresult = result;
                         cest = est;
@@ -415,7 +458,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                       :: !pending
                   | Error cause ->
                     incr illegal;
-                    SeqTbl.replace cache canon (Failed cause);
+                    KeyTbl.replace cache key (Failed cause);
                     reject cand cause)
                 results;
               (* Screen, deterministically: sort every tier-0-estimated
@@ -437,7 +480,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                        incumbent: neither can ever win. *)
                     incr tier0_pruned;
                     decide c.cseq c.cest Bound_pruned;
-                    SeqTbl.replace cache c.ccanon (Checked c)
+                    KeyTbl.replace cache c.ckey (Checked c)
                   end
                   else if tier0_only || !kept < exact_topk then begin
                     incr kept;
@@ -447,7 +490,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                   else begin
                     incr tier0_pruned;
                     decide c.cseq c.cest Screened_out;
-                    SeqTbl.replace cache c.ccanon (Checked c)
+                    KeyTbl.replace cache c.ckey (Checked c)
                   end)
                 screened;
               let survivors = Array.of_list (List.rev !survivors) in
@@ -507,16 +550,17 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                       {
                         seq = c.cseq;
                         canon = c.ccanon;
+                        key = c.ckey;
                         state = c.cstate;
                         result = c.cresult;
                         score;
                       }
                     in
-                    SeqTbl.replace cache c.ccanon (Scored node);
+                    KeyTbl.replace cache c.ckey (Scored node);
                     fresh := node :: !fresh
                   | Error cause ->
                     incr illegal;
-                    SeqTbl.replace cache c.ccanon (Failed cause);
+                    KeyTbl.replace cache c.ckey (Failed cause);
                     reject c.cseq cause)
                 scored;
               List.rev !fresh
@@ -561,6 +605,25 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
       }
     in
     Option.iter (fun m -> Stats.record m stats) metrics;
+    (* Intern/memo table health, one gauge triple per table, labeled by
+       table name. Gauges are absolute process-wide values (last write
+       wins), so repeated searches just refresh them. *)
+    Option.iter
+      (fun m ->
+        List.iter
+          (fun s ->
+            let labels = [ ("table", s.Itf_mat.Hashcons.name) ] in
+            Metrics.set
+              (Metrics.gauge m ~labels "intern.size")
+              (float s.Itf_mat.Hashcons.size);
+            Metrics.set
+              (Metrics.gauge m ~labels "intern.hits")
+              (float s.Itf_mat.Hashcons.hits);
+            Metrics.set
+              (Metrics.gauge m ~labels "intern.misses")
+              (float s.Itf_mat.Hashcons.misses))
+          (Itf_mat.Hashcons.stats ()))
+      metrics;
     Some
       {
         sequence = winner.seq;

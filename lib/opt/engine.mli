@@ -7,10 +7,12 @@
       {!Itf_core.Legality} prefix state, so appending a move costs one
       template application instead of replaying the whole sequence;
     - {b memoization}: candidates are canonicalized with
-      {!Itf_core.Sequence.reduce}; a cross-step cache keyed on the
-      canonical sequence answers re-derived transformations (interchange
-      twice, reversal pairs, composed unimodulars, ...) without touching
-      the framework;
+      {!Itf_core.Sequence.reduce_memo}; a cross-step cache keyed on the
+      canonical sequence's intern id (an O(1) integer probe — see
+      {!Itf_mat.Hashcons} and DESIGN.md §10) answers re-derived
+      transformations (interchange twice, reversal pairs, composed
+      unimodulars, ...) without touching the framework. [~intern:false]
+      falls back to structural {!Itf_core.Sequence.reduce} keys;
     - {b two-tier objective} (pass [~tier0]): every legal candidate is
       first scored by the analytic {!Costmodel} (no simulation); the
       tier-0 rank screens candidates so only the best [~exact_topk] per
@@ -106,6 +108,7 @@ val search :
   ?tier0:Costmodel.spec ->
   ?exact_topk:int ->
   ?tier0_only:bool ->
+  ?intern:bool ->
   Nest.t ->
   Search.objective ->
   outcome option
@@ -123,7 +126,18 @@ val search :
     untrusted-but-fast escape hatch, whose winner is {e not} guaranteed to
     match the exact search.
 
+    [intern] (default [true]) keys the cross-step cache on canonical
+    sequence intern ids via {!Itf_core.Sequence.reduce_memo} and passes
+    [~memo:true] to the tier-0 {!Costmodel.make}. Intern ids are used for
+    cache {e equality} only — candidate ordering stays structural — so
+    the winner, score and provenance are identical with [~intern:false]
+    (which uses structural keys and recomputes tier-0 estimates; the CI
+    bench gate asserts this). All interning runs on the calling domain;
+    worker domains only read canonical values.
+
     [tracer]/[metrics] default to disabled; [provenance] (default false)
     retains per-candidate rejection causes and tier-0 decisions in the
-    outcome. Returns [None] when not even the untransformed nest is
-    scoreable. *)
+    outcome; with [metrics], intern-table sizes and hit counts are
+    published as [intern.size]/[intern.hits]/[intern.misses] gauges
+    labeled by table name. Returns [None] when not even the untransformed
+    nest is scoreable. *)

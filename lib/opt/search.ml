@@ -14,13 +14,6 @@ type outcome = {
   checked_templates : int;
 }
 
-module SeqTbl = Hashtbl.Make (struct
-  type t = Sequence.t
-
-  let equal = Sequence.equal
-  let hash = Sequence.hash
-end)
-
 (* ------------------------------------------------------------------ *)
 (* Moves                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -102,8 +95,11 @@ let best ?(beam = 6) ?(steps = 3) ?block_sizes nest objective =
     for _ = 1 to steps do
       (* Expansions that reduce to the same canonical sequence are the same
          transformation (e.g. interchange twice = identity): evaluate only
-         the first spelling so duplicates cannot crowd the beam. *)
-      let seen = SeqTbl.create 64 in
+         the first spelling so duplicates cannot crowd the beam. The
+         dedupe keys on the canonical sequence's intern id — an O(1)
+         integer probe via {!Sequence.reduce_memo} instead of a structural
+         hash-and-compare of whole template lists. *)
+      let seen = Hashtbl.create 64 in
       let expansions =
         List.concat_map
           (fun (seq, _, result, _) ->
@@ -111,10 +107,10 @@ let best ?(beam = 6) ?(steps = 3) ?block_sizes nest objective =
             List.filter_map
               (fun t ->
                 let cand = seq @ [ t ] in
-                let canon = Sequence.reduce cand in
-                if SeqTbl.mem seen canon then None
+                let canon, cid = Sequence.reduce_memo cand in
+                if Hashtbl.mem seen cid then None
                 else begin
-                  SeqTbl.add seen canon ();
+                  Hashtbl.add seen cid ();
                   try_seq ~canon cand
                 end)
               (moves ?block_sizes nest ~depth))
@@ -235,12 +231,52 @@ let mcount metrics name n =
   | None -> ()
   | Some m -> Itf_obs.Metrics.add (Itf_obs.Metrics.counter m name) n
 
+(* Exact-objective memo tables, process-wide and shared by every
+   instantiation. Both ready-made objectives are pure functions of
+   (instantiation parameters, transformed nest): the simulated machine is
+   deterministic and the synthetic environments are rebuilt identically
+   per evaluation. Keying on an instantiation fingerprint plus the
+   interned nest id therefore returns bit-identical floats while skipping
+   the simulation entirely — including across engines and repeated
+   searches over the same kernel, where most candidates recur. The
+   compute runs outside the table lock ({!Itf_mat.Hashcons.Memo}), so
+   worker domains never serialize on a miss. *)
+module OMemo = Itf_mat.Hashcons.Memo (Itf_mat.Hashcons.Ints_key)
+
+let memsim_memo : float OMemo.t = OMemo.create "opt.obj.memsim"
+let parsim_memo : float OMemo.t = OMemo.create "opt.obj.parsim"
+
+let backend_tag = function `Compiled -> 0 | `Interpreted -> 1
+
+let params_key params =
+  List.concat_map (fun (v, x) -> [ Itf_ir.Intern.str_id v; x ]) params
+
+let float_bits x =
+  let b = Int64.bits_of_float x in
+  [ Int64.to_int (Int64.shift_right_logical b 32); Int64.to_int (Int64.logand b 0xFFFFFFFFL) ]
+
+let memoized ?(memo = true) table fingerprint metrics hit_metric
+    (f : Framework.result -> float) : objective =
+  if not memo then f
+  else fun result ->
+    let nid = Itf_ir.Intern.nest_id result.Framework.nest in
+    let computed = ref false in
+    let v =
+      OMemo.find_or_add table
+        (nid :: fingerprint)
+        (fun () ->
+          computed := true;
+          f result)
+    in
+    if not !computed then mcount metrics hit_metric 1;
+    v
+
 let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 })
-    ?(backend = `Compiled) ?metrics ~params () : objective =
+    ?(backend = `Compiled) ?metrics ?memo ~params () : objective =
   let arities = memo_arities () in
   let scratch = env_scratch ~params () in
   let cache_key = Domain.DLS.new_key (fun () -> Itf_machine.Cache.create config) in
-  fun result ->
+  let run result =
     let nest = result.Framework.nest in
     let cache = Domain.DLS.get cache_key in
     let r =
@@ -257,12 +293,20 @@ let cache_misses ?(config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 
     mcount metrics "memsim.cache.access" cache.Itf_machine.Cache.accesses;
     mcount metrics "memsim.cache.miss" cache.Itf_machine.Cache.misses;
     float cache.Itf_machine.Cache.misses
+  in
+  let fingerprint =
+    backend_tag backend
+    :: config.Itf_machine.Cache.size_bytes
+    :: config.Itf_machine.Cache.line_bytes
+    :: config.Itf_machine.Cache.assoc :: params_key params
+  in
+  memoized ?memo memsim_memo fingerprint metrics "memsim.memo.hits" run
 
-let parallel_time ?spawn_overhead ?(backend = `Compiled) ?metrics ~procs
+let parallel_time ?spawn_overhead ?(backend = `Compiled) ?metrics ?memo ~procs
     ~params () : objective =
   let arities = memo_arities () in
   let scratch = env_scratch ~params () in
-  fun result ->
+  let run result =
     let nest = result.Framework.nest in
     let t =
       match backend with
@@ -277,3 +321,12 @@ let parallel_time ?spawn_overhead ?(backend = `Compiled) ?metrics ~procs
     in
     mcount metrics "parsim.runs" 1;
     t
+  in
+  let fingerprint =
+    backend_tag backend :: procs
+    :: (match spawn_overhead with
+       | None -> [ 0 ]
+       | Some x -> 1 :: float_bits x)
+    @ params_key params
+  in
+  memoized ?memo parsim_memo fingerprint metrics "parsim.memo.hits" run

@@ -58,7 +58,7 @@ type backend = [ `Interpreted | `Compiled ]
 
 val cache_misses :
   ?config:Itf_machine.Cache.config -> ?backend:backend ->
-  ?metrics:Itf_obs.Metrics.t ->
+  ?metrics:Itf_obs.Metrics.t -> ?memo:bool ->
   params:(string * int) list ->
   unit -> objective
 (** Simulated cache misses of one full execution. Arrays are freshly
@@ -66,12 +66,20 @@ val cache_misses :
     subscript range inferred by probing, so transformed nests score on
     identical data. [metrics], when given, accumulates [memsim.runs],
     [memsim.cache.access] and [memsim.cache.miss] counters (atomic adds —
-    totals are domain-schedule independent). *)
+    totals are domain-schedule independent).
+
+    [?memo] (default [true]): the objective is a pure function of
+    (config, backend, params, nest), so scores are memoized process-wide
+    by instantiation fingerprint + interned nest id ({!Itf_ir.Intern}).
+    Hits return the stored float bit-identically and skip the simulation
+    (and its [memsim.*] counters; they bump [memsim.memo.hits] instead).
+    [~memo:false] simulates every call. *)
 
 val parallel_time :
   ?spawn_overhead:float -> ?backend:backend ->
-  ?metrics:Itf_obs.Metrics.t -> procs:int ->
+  ?metrics:Itf_obs.Metrics.t -> ?memo:bool -> procs:int ->
   params:(string * int) list ->
   unit -> objective
 (** Simulated parallel execution time on [procs] processors. [metrics]
-    accumulates a [parsim.runs] counter. *)
+    accumulates a [parsim.runs] counter. [?memo] as in {!cache_misses}
+    (hit counter: [parsim.memo.hits]). *)

@@ -1,0 +1,279 @@
+(* Tests for the hash-consing layer (lib/intmat/hashcons.ml,
+   lib/ir/intern.ml and the per-type intern entry points):
+
+   - canonicalization: structurally equal terms intern to the SAME
+     physical value and the same dense id, however they were constructed;
+     distinct terms get distinct ids. Ids are stable across re-interning.
+   - table discipline: re-interning an already-seen corpus leaves every
+     table size unchanged (append-only, no duplicates) while hit counts
+     grow — the O(1) path is actually taken.
+   - semantic transparency: [Sequence.reduce_memo] agrees with the
+     structural [Sequence.reduce]; the explicit [Depvec.compare] /
+     [Dir.compare] agree with the polymorphic order they replaced (the
+     dedupe sort order is observable in analyzer output).
+   - engine identity: with interning on, a parallel search is
+     bit-identical to a sequential one (winner, score, provenance), and
+     an interned search is bit-identical to a [~intern:false] one — ids
+     accelerate equality but never influence ordering. *)
+
+open Itf_ir
+module Intmat = Itf_mat.Intmat
+module Hashcons = Itf_mat.Hashcons
+module Depvec = Itf_dep.Depvec
+module Dir = Itf_dep.Dir
+module T = Itf_core.Template
+module Sequence = Itf_core.Sequence
+module Search = Itf_opt.Search
+module Engine = Itf_opt.Engine
+module Costmodel = Itf_opt.Costmodel
+module Gen = Itf_check.Gen
+module Repro = Itf_check.Repro
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let corpus_dir () =
+  if Sys.file_exists "corpus" then "corpus" else Filename.concat "test" "corpus"
+
+let corpus_cases () =
+  let dir = corpus_dir () in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".repro")
+  |> List.sort compare
+  |> List.map (fun f -> Repro.load (Filename.concat dir f))
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization across construction orders                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_intmat_canonical () =
+  let a = Intmat.interchange 3 0 1 in
+  let b = Intmat.mul (Intmat.interchange 3 0 1) (Intmat.identity 3) in
+  check_bool "distinct physical values before interning" false (a == b);
+  let a' = Intmat.intern a and b' = Intmat.intern b in
+  check_bool "interned representatives are physically equal" true (a' == b');
+  check_int "same id" (Intmat.id a') (Intmat.id b');
+  check_bool "intern is idempotent" true (Intmat.intern a' == a');
+  let c = Intmat.intern (Intmat.skew 3 0 1 2) in
+  check_bool "distinct matrices get distinct ids" true
+    (Intmat.id a' <> Intmat.id c);
+  (* equality/compare answers are unchanged by interning *)
+  check_bool "equal: interned vs fresh" true (Intmat.equal a' b);
+  check_int "compare: interned vs fresh" 0 (Intmat.compare a' b)
+
+let test_ir_canonical () =
+  let e1 = Expr.(add (var "i") (int 1)) in
+  let e2 = Expr.(add (var "i") (int 1)) in
+  check_bool "fresh exprs differ physically" false (e1 == e2);
+  check_bool "interned exprs are physically equal" true
+    (Intern.expr e1 == Intern.expr e2);
+  check_int "same expr id" (Intern.expr_id e1) (Intern.expr_id e2);
+  check_bool "distinct exprs, distinct ids" true
+    (Intern.expr_id e1 <> Intern.expr_id Expr.(add (var "i") (int 2)));
+  let src =
+    "do i = 1, n\n\
+    \  do j = 1, n\n\
+    \    a(i, j) = a(i, j) + b(i) * c(j)\n\
+    \  enddo\n\
+     enddo\n"
+  in
+  let n1 = Itf_lang.Parser.parse_nest src in
+  let n2 = Itf_lang.Parser.parse_nest src in
+  check_bool "two parses of one source intern to one nest" true
+    (Intern.nest n1 == Intern.nest n2);
+  check_int "same nest id" (Intern.nest_id n1) (Intern.nest_id n2);
+  (* interning a canonical term is a pure lookup: ids are stable *)
+  let id0 = Intern.nest_id n1 in
+  check_int "nest id stable across re-interning" id0
+    (Intern.nest_id (Intern.nest n1))
+
+let test_template_sequence_canonical () =
+  let t1 = T.interchange ~n:3 0 2 and t2 = T.interchange ~n:3 0 2 in
+  check_bool "interned templates physically equal" true
+    (T.intern t1 == T.intern t2);
+  check_int "same template id" (snd (T.intern_id t1)) (snd (T.intern_id t2));
+  let s1 = [ T.interchange ~n:3 0 2; T.reversal ~n:3 1 ] in
+  let s2 = [ T.interchange ~n:3 0 2; T.reversal ~n:3 1 ] in
+  let c1, i1 = Sequence.intern_id s1 and c2, i2 = Sequence.intern_id s2 in
+  check_bool "interned sequences physically equal" true (c1 == c2);
+  check_int "same sequence id" i1 i2;
+  check_int "empty sequence has a stable id" (snd (Sequence.intern_id []))
+    (snd (Sequence.intern_id []))
+
+(* ------------------------------------------------------------------ *)
+(* Table growth under the fuzz corpus                                  *)
+(* ------------------------------------------------------------------ *)
+
+let intern_case (c : Gen.case) =
+  ignore (Intern.nest c.Gen.nest);
+  List.iter (fun t -> ignore (T.intern t)) c.Gen.seq;
+  ignore (Sequence.intern_id c.Gen.seq)
+
+let test_corpus_growth () =
+  let cases = corpus_cases () in
+  check_bool "corpus is non-empty" true (cases <> []);
+  List.iter intern_case cases;
+  let before = Hashcons.stats () in
+  (* Re-interning the whole corpus must add nothing to any table and must
+     take the hit path. *)
+  List.iter intern_case cases;
+  let after = Hashcons.stats () in
+  List.iter2
+    (fun (b : Hashcons.stats) (a : Hashcons.stats) ->
+      check_int (a.Hashcons.name ^ ": size unchanged by re-interning")
+        b.Hashcons.size a.Hashcons.size)
+    before after;
+  let total_hits l =
+    List.fold_left (fun acc (s : Hashcons.stats) -> acc + s.Hashcons.hits) 0 l
+  in
+  check_bool "re-interning hits the tables" true
+    (total_hits after > total_hits before)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic transparency                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduce_memo_agrees () =
+  let nest = Builders.matmul () in
+  let moves = Search.moves nest ~depth:3 in
+  let seqs =
+    ([] :: List.map (fun t -> [ t ]) moves)
+    @ List.concat_map
+        (fun a -> List.map (fun b -> [ a; b ]) moves)
+        (List.filteri (fun i _ -> i < 8) moves)
+  in
+  List.iter
+    (fun seq ->
+      let canon = Sequence.reduce seq in
+      let canon', cid = Sequence.reduce_memo seq in
+      check_int "reduce_memo canonical == reduce canonical" 0
+        (Sequence.compare canon canon');
+      (* the returned id really is the canonical's id *)
+      check_int "reduce_memo id is the canonical's id" cid
+        (snd (Sequence.intern_id canon')))
+    seqs
+
+let all_dirs = Dir.[ Zero; Pos; Neg; NonNeg; NonPos; NonZero; Any ]
+
+let test_explicit_compare_matches_polymorphic () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int "Dir.compare = polymorphic compare"
+            (compare (Stdlib.compare a b) 0)
+            (compare (Dir.compare a b) 0);
+          check_bool "Dir.equal = polymorphic =" (a = b) (Dir.equal a b))
+        all_dirs)
+    all_dirs;
+  let vecs =
+    List.map Depvec.of_string
+      [
+        "(0,0)"; "(1,-1)"; "(+,0)"; "(0+,*)"; "(1,0,0)"; "(0,+)"; "(-,3)";
+        "(0,0,+)"; "(*,*)"; "(2)"; "(+)";
+      ]
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int "Depvec.compare = polymorphic compare"
+            (compare (Stdlib.compare a b) 0)
+            (compare (Depvec.compare a b) 0);
+          check_bool "Depvec.equal = polymorphic =" (a = b) (Depvec.equal a b))
+        vecs)
+    vecs
+
+(* ------------------------------------------------------------------ *)
+(* Engine identity: seq == par, interned == no-intern                  *)
+(* ------------------------------------------------------------------ *)
+
+let same_outcome (a : Engine.outcome) (b : Engine.outcome) =
+  Sequence.compare a.Engine.canonical b.Engine.canonical = 0
+  && a.Engine.score = b.Engine.score
+  && List.length a.Engine.rejections = List.length b.Engine.rejections
+  && List.for_all2
+       (fun (x : Engine.rejection) (y : Engine.rejection) ->
+         Sequence.compare x.Engine.candidate y.Engine.candidate = 0
+         && Engine.cause_labels x.Engine.cause = Engine.cause_labels y.Engine.cause)
+       a.Engine.rejections b.Engine.rejections
+  && List.length a.Engine.decisions = List.length b.Engine.decisions
+  && List.for_all2
+       (fun (x : Engine.decision) (y : Engine.decision) ->
+         Sequence.compare x.Engine.candidate y.Engine.candidate = 0
+         && x.Engine.tier0_score = y.Engine.tier0_score
+         && x.Engine.tier0_bound = y.Engine.tier0_bound
+         && x.Engine.verdict = y.Engine.verdict)
+       a.Engine.decisions b.Engine.decisions
+
+let cache_cfg =
+  { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 }
+
+let tier0_locality params =
+  Costmodel.Locality { config = cache_cfg; elem_bytes = 8; params }
+
+let test_engine_par_identity () =
+  let nest = Builders.matmul () in
+  let params = [ ("n", 8) ] in
+  let run domains =
+    match
+      Engine.search ~beam:4 ~steps:2 ~domains ~provenance:true
+        ~tier0:(tier0_locality params) nest
+        (Search.cache_misses ~params ())
+    with
+    | Some o -> o
+    | None -> Alcotest.fail "engine returned nothing"
+  in
+  (* Interning and the score memo stay on: domain scheduling must not be
+     able to perturb winner, score or provenance even with warm tables. *)
+  check_bool "seq and 2-domain runs bit-identical" true
+    (same_outcome (run 1) (run 2))
+
+let test_engine_no_intern_identity () =
+  List.iter
+    (fun (nest, mk_obj, spec) ->
+      let run ~intern obj =
+        match
+          Engine.search ~beam:4 ~steps:2 ~domains:1 ~provenance:true
+            ~tier0:spec ~intern nest obj
+        with
+        | Some o -> o
+        | None -> Alcotest.fail "engine returned nothing"
+      in
+      let interned = run ~intern:true (mk_obj ~memo:true) in
+      let plain = run ~intern:false (mk_obj ~memo:false) in
+      check_bool "interned == no-intern (winner, score, provenance)" true
+        (same_outcome interned plain))
+    [
+      ( Builders.matmul (),
+        (fun ~memo -> Search.cache_misses ~memo ~params:[ ("n", 8) ] ()),
+        tier0_locality [ ("n", 8) ] );
+      ( Builders.stencil (),
+        (fun ~memo ->
+          Search.parallel_time ~memo ~procs:4 ~params:[ ("n", 8) ] ()),
+        Costmodel.Parallel
+          { procs = 4; spawn_overhead = 2.0; params = [ ("n", 8) ] } );
+    ]
+
+let () =
+  Alcotest.run "intern"
+    [
+      ( "intern",
+        [
+          Alcotest.test_case "intmat canonicalization" `Quick
+            test_intmat_canonical;
+          Alcotest.test_case "ir canonicalization" `Quick test_ir_canonical;
+          Alcotest.test_case "template/sequence canonicalization" `Quick
+            test_template_sequence_canonical;
+          Alcotest.test_case "corpus: re-interning adds nothing" `Quick
+            test_corpus_growth;
+          Alcotest.test_case "reduce_memo == reduce" `Quick
+            test_reduce_memo_agrees;
+          Alcotest.test_case "explicit compares match polymorphic" `Quick
+            test_explicit_compare_matches_polymorphic;
+          Alcotest.test_case "engine: par == seq with interning" `Quick
+            test_engine_par_identity;
+          Alcotest.test_case "engine: interned == no-intern" `Quick
+            test_engine_no_intern_identity;
+        ] );
+    ]

@@ -499,7 +499,14 @@ let test_engine_seq_par_observability () =
   let run domains =
     let tracer = Tracer.create () in
     let metrics = Metrics.create () in
-    let objective = Search.cache_misses ~metrics ~params:[ ("n", 8) ] () in
+    (* [~memo:false]: the objective memo is process-wide, so the first run
+       would warm it and the second run's simulator spans/counters would
+       (correctly) disappear behind memo hits. This test isolates domain
+       scheduling, so it opts out; test_intern covers winner/provenance
+       identity with memoization on. *)
+    let objective =
+      Search.cache_misses ~metrics ~memo:false ~params:[ ("n", 8) ] ()
+    in
     match
       Engine.search ~beam:4 ~steps:2 ~domains ~tracer ~metrics
         ~provenance:true (Builders.matmul ()) objective
