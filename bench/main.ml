@@ -24,8 +24,9 @@ module Tracer = Itf_obs.Tracer
 
 (* Every BENCH_*.json this harness writes is versioned: bump "schema" when
    a field changes meaning so downstream comparisons refuse stale files.
-   BENCH_search.json is at 4 (GC/allocation telemetry, intern-table stats
-   and the no-intern cross-check were added); BENCH_sim.json stays at 3. *)
+   BENCH_search.json is at 5 (warm timings now report the best-timed run's
+   own stats, and the unmemoized compute_* fields were added);
+   BENCH_sim.json stays at 3. *)
 let write_bench_json ?(schema = 3) path fields =
   let oc = open_out path in
   output_string oc
@@ -750,20 +751,41 @@ let search_bench ?baseline () =
   (* Best-of-five for the runs whose timing ratio is enforced: these
      searches finish in milliseconds, so a single GC pause or scheduler
      hiccup would otherwise dominate the ratio and fail the gate. The
+     reported result (and so the stats blob in the JSON) comes from the
+     best-timed run — the time and the stats describe the same run, which
+     in practice is a warm one (runs 2-5 hit the process-wide memos). The
      allocation deltas come from the fifth (warm) run: by then the
      process-wide memo tables answer every repeated candidate, so they
      report the steady-state allocation of a search, not the one-time
      intern cost. *)
-  let time_min_gc f =
-    let r, t0 = time f in
-    let best = ref t0 in
-    for _ = 2 to 4 do
-      let _, t = time f in
-      if t < !best then best := t
+  let time_min f =
+    let r0, t0 = time f in
+    let best_r = ref r0 and best = ref t0 in
+    for _ = 2 to 5 do
+      let r, t = time f in
+      if t < !best then begin
+        best_r := r;
+        best := t
+      end
     done;
-    let _, t, minor, promoted = time_gc f in
-    if t < !best then best := t;
-    (r, !best, minor, promoted)
+    (!best_r, !best)
+  in
+  let time_min_gc f =
+    let r0, t0 = time f in
+    let best_r = ref r0 and best = ref t0 in
+    for _ = 2 to 4 do
+      let r, t = time f in
+      if t < !best then begin
+        best_r := r;
+        best := t
+      end
+    done;
+    let r, t, minor, promoted = time_gc f in
+    if t < !best then begin
+      best_r := r;
+      best := t
+    end;
+    (!best_r, !best, minor, promoted)
   in
   (* Parse the committed baseline up front so a malformed file fails fast,
      before minutes of benching. *)
@@ -778,10 +800,11 @@ let search_bench ?baseline () =
       | Error e -> failwith ("--baseline " ^ path ^ ": " ^ e)
       | Ok j ->
         (match Json.member "schema" j with
-        | Some (Json.Int 4) -> ()
+        | Some (Json.Int 4) | Some (Json.Int 5) -> ()
         | _ ->
           failwith
-            ("--baseline " ^ path ^ ": expected schema 4 BENCH_search.json"));
+            ("--baseline " ^ path
+           ^ ": expected schema 4 or 5 BENCH_search.json"));
         Some
           (Option.value ~default:[]
              (Option.bind (Json.member "cases" j) Json.to_list)))
@@ -813,8 +836,11 @@ let search_bench ?baseline () =
         let old_, old_t, old_minor, old_promoted =
           time_gc (fun () -> Search.best ~steps nest objective)
         in
+        (* Same best-of-N discipline as the tiered runs: the
+           tiered-vs-untiered gate below compares warm best times on both
+           sides, not a cold single shot against a best-of-five. *)
         let unt_, unt_t =
-          time (fun () -> Engine.search ~steps ~domains:1 nest objective)
+          time_min (fun () -> Engine.search ~steps ~domains:1 nest objective)
         in
         let seq_, seq_t, seq_minor, seq_promoted =
           time_min_gc (fun () ->
@@ -833,8 +859,25 @@ let search_bench ?baseline () =
               Engine.search ~steps ~domains:1 ~tier0:spec ~intern:false nest
                 (mk_obj ~memo:false))
         in
-        match (old_, unt_, seq_, par_, ni_) with
-        | Some old_, Some unt_, Some seq_, Some par_, Some ni_ ->
+        (* True-compute regime: the same two searches with the process-wide
+           simulation memo disabled, so every run pays for its exact
+           evaluations. The memoized times above are the warm steady state
+           (what serve sees on repeat queries, where warm probes make the
+           tier-0 screen pure overhead); these are what a novel query
+           costs — the regime the screen exists for, and the one the
+           tiered-vs-untiered wall-clock gate compares like for like. *)
+        let cunt_, cunt_t =
+          time_min (fun () ->
+              Engine.search ~steps ~domains:1 nest (mk_obj ~memo:false))
+        in
+        let cseq_, cseq_t =
+          time_min (fun () ->
+              Engine.search ~steps ~domains:1 ~tier0:spec nest
+                (mk_obj ~memo:false))
+        in
+        match (old_, unt_, seq_, par_, ni_, cunt_, cseq_) with
+        | Some old_, Some unt_, Some seq_, Some par_, Some ni_, Some cunt_,
+          Some cseq_ ->
           let agree (a : Engine.outcome) (b : Engine.outcome) =
             Itf_core.Sequence.compare a.Engine.canonical b.Engine.canonical = 0
             && a.Engine.score = b.Engine.score
@@ -849,6 +892,10 @@ let search_bench ?baseline () =
           in
           if not same_winner then
             failwith (name ^ ": engines disagree on the winner");
+          if not (agree unt_ cunt_ && agree seq_ cseq_) then
+            failwith
+              (name
+             ^ ": memoized and unmemoized searches disagree on the winner");
           let no_intern_same_winner = agree seq_ ni_ in
           if not no_intern_same_winner then
             failwith
@@ -876,6 +923,49 @@ let search_bench ?baseline () =
                  "%s: tiered parallel run is %.2fx the sequential time \
                   (limit 1.2x)"
                  name par_vs_seq);
+          let tiered_vs_untiered = seq_t /. unt_t in
+          let compute_vs_untiered = cseq_t /. cunt_t in
+          (* The tiered screen exists to be cheaper than brute force; PR 8's
+             headline bug was tiered sequential search running 2.4x slower
+             than untiered on matmul while the cross-step cache sat cold.
+             The enforced comparison is the unmemoized (compute) regime,
+             where both engines pay their exact evaluations; 3ms absolute
+             floor for the same reason as the par/seq gate. *)
+          if compute_vs_untiered > 1.2 && cseq_t -. cunt_t > 0.003 then
+            failwith
+              (Printf.sprintf
+                 "%s: tiered sequential compute run is %.2fx the untiered \
+                  time (limit 1.2x)"
+                 name compute_vs_untiered);
+          (* In the warm regime the screen's probes are overhead by
+             construction, but a cold cross-step cache (the PR 8 collapse
+             re-keyed every entry) costs far more than that: keep a looser
+             warm-ratio guard too. *)
+          if tiered_vs_untiered > 1.2 && seq_t -. unt_t > 0.003 then
+            failwith
+              (Printf.sprintf
+                 "%s: tiered sequential warm run is %.2fx the untiered time \
+                  (limit 1.2x beyond the 3ms floor)"
+                 name tiered_vs_untiered);
+          (* Deterministic pin for the collapse itself: tiered search must
+             reuse at least as many cross-step cache entries as untiered
+             (it evaluates a superset of nothing — the same frontier plus
+             screen survivors — so fewer hits means the screen re-keyed
+             the cache). *)
+          let hits (s : Itf_opt.Stats.t) =
+            s.Itf_opt.Stats.legality_cache_hits
+            + s.Itf_opt.Stats.score_cache_hits
+          in
+          if
+            name = "matmul/locality"
+            && hits stats < hits unt_.Engine.stats
+          then
+            failwith
+              (Printf.sprintf
+                 "%s: tiered cross-step cache hits collapsed (%d < untiered \
+                  %d)"
+                 name (hits stats)
+                 (hits unt_.Engine.stats));
           if name = "matmul/locality" && exact_reduction < 3.0 then
             failwith
               (Printf.sprintf
@@ -914,6 +1004,10 @@ let search_bench ?baseline () =
              minor words (%.0f promoted) vs warm tiered seq %.0f (%.0f)@."
             "" ni_t no_intern_same_winner old_minor old_promoted seq_minor
             seq_promoted;
+          Format.printf
+            "%-18s compute (no sim memo): untiered %.3fs vs tiered seq %.3fs \
+             (tiered/untiered %.2f; warm %.2f)@."
+            "" cunt_t cseq_t compute_vs_untiered tiered_vs_untiered;
           Json.Obj
             [
               ("name", Json.String name);
@@ -935,6 +1029,10 @@ let search_bench ?baseline () =
               ("tier0_pruned", Json.Int stats.Itf_opt.Stats.tier0_pruned);
               ("exact_eval_reduction", Json.Float exact_reduction);
               ("par_vs_seq", Json.Float par_vs_seq);
+              ("tiered_vs_untiered", Json.Float tiered_vs_untiered);
+              ("compute_untiered_time_s", Json.Float cunt_t);
+              ("compute_seq_time_s", Json.Float cseq_t);
+              ("compute_vs_untiered", Json.Float compute_vs_untiered);
               ("same_winner", Json.Bool same_winner);
               ("no_intern_time_s", Json.Float ni_t);
               ("no_intern_same_winner", Json.Bool no_intern_same_winner);
@@ -961,10 +1059,11 @@ let search_bench ?baseline () =
             ("size", Json.Int s.Hashcons.size);
             ("hits", Json.Int s.Hashcons.hits);
             ("misses", Json.Int s.Hashcons.misses);
+            ("evictions", Json.Int s.Hashcons.evictions);
           ])
       (Hashcons.stats ())
   in
-  write_bench_json ~schema:4 "BENCH_search.json"
+  write_bench_json ~schema:5 "BENCH_search.json"
     [
       ("domains_par", Json.Int par_domains);
       ("cases", Json.List jsons);

@@ -212,7 +212,8 @@ let write_metrics metrics = function
 
 let optimize_cmd =
   let run nest_path objective params procs steps domains exact_topk tier0_only
-      no_intern show_stats stats_json explain trace_out metrics_out =
+      no_intern deadline_ms max_nodes show_stats stats_json explain trace_out
+      metrics_out =
     match parse_nest_file nest_path with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -254,9 +255,20 @@ let optimize_cmd =
         exit 1
       end;
       let tier0 = if exact_topk = 0 then None else Some tier0 in
+      let budget =
+        match (deadline_ms, max_nodes) with
+        | None, None -> None
+        | deadline_ms, max_nodes ->
+          Some
+            {
+              Itf_opt.Engine.deadline_s =
+                Option.map (fun ms -> ms /. 1000.) deadline_ms;
+              max_nodes;
+            }
+      in
       match
         Itf_opt.Engine.search ~steps ?domains ~tracer ?metrics
-          ~provenance:explain ?tier0
+          ~provenance:explain ?tier0 ?budget
           ~exact_topk:(max 1 exact_topk) ~tier0_only ~intern:memo nest obj
       with
       | None ->
@@ -268,12 +280,18 @@ let optimize_cmd =
             result;
             score;
             stats;
+            completion;
             rejections;
             decisions;
             _;
           } ->
         Format.printf "explored %d candidate sequences@."
           stats.Itf_opt.Stats.nodes_explored;
+        (match completion with
+        | Itf_opt.Engine.Complete -> ()
+        | Itf_opt.Engine.Degraded { cut } ->
+          Format.printf
+            "DEGRADED: budget expired at %s; best found before the cut:@." cut);
         Format.printf "== best sequence (score %.1f) ==@." score;
         if sequence = [] then Format.printf "(identity)@."
         else Format.printf "%a@." Itf_core.Sequence.pp sequence;
@@ -357,6 +375,25 @@ let optimize_cmd =
              equality and recomputes every objective and tier-0 estimate. \
              Same winner, slower — a differential-testing escape hatch.")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Anytime wall-clock budget: stop the search after MS \
+             milliseconds and print the best sequence found so far, \
+             marked DEGRADED.")
+  in
+  let max_nodes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Anytime node budget: stop after exploring N candidate \
+             sequences and print the best found so far, marked DEGRADED.")
+  in
   let show_stats =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print search instrumentation (cache hits, saved template applications, timings).")
   in
@@ -395,8 +432,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Search for a legal transformation sequence minimizing an objective.")
     Term.(
       const run $ nest_arg $ objective $ params_arg $ procs $ steps $ domains
-      $ exact_topk $ tier0_only $ no_intern $ show_stats $ stats_json
-      $ explain $ trace_out $ metrics_out)
+      $ exact_topk $ tier0_only $ no_intern $ deadline_ms $ max_nodes
+      $ show_stats $ stats_json $ explain $ trace_out $ metrics_out)
 
 (* ------------------------------------------------------------------ *)
 (* run                                                                 *)
@@ -885,6 +922,81 @@ let report_cmd =
           trace, and/or a metrics dump rendered as a table.")
     Term.(const run $ trace $ metrics $ counters)
 
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run socket domains deadline_ms max_cache metrics_out trace_out =
+    let server =
+      Itf_serve.Serve.create ?domains ?default_deadline_ms:deadline_ms
+        ~max_cache ?metrics_out ?trace_out ()
+    in
+    Itf_serve.Serve.run ?socket server;
+    0
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Also listen on a Unix-domain socket at PATH (removed and \
+             re-created), one thread per connection.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:"Search parallelism per request (OCaml domains).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline applied to requests that carry \
+             none of their own.")
+  in
+  let max_cache =
+    Arg.(
+      value
+      & opt int Itf_serve.Serve.default_max_cache
+      & info [ "max-cache" ] ~docv:"N"
+          ~doc:
+            "Capacity of the LRU response cache (identical requests \
+             answered without a search); 0 disables it.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite FILE after every request with the metrics registry \
+             (request counters by status, cache gauges, engine and \
+             simulator counters) as JSON.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Rewrite FILE after every request with the span trace as JSON lines.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived search daemon: one JSON request per line on \
+          stdin (and optionally a Unix socket), one JSON response per \
+          line on stdout. Consecutive requests share the process-wide \
+          memo tables, so repeated searches are answered warm.")
+    Term.(
+      const run $ socket $ domains $ deadline_ms $ max_cache $ metrics_out
+      $ trace_out)
+
 let () =
   let doc = "iteration-reordering loop transformation framework (PLDI'92 reproduction)" in
   exit
@@ -892,5 +1004,5 @@ let () =
        (Cmd.group (Cmd.info "loopt" ~doc)
           [
             show_cmd; apply_cmd; optimize_cmd; run_cmd; emit_cmd;
-            distribute_cmd; trace_cmd; fuzz_cmd; report_cmd;
+            distribute_cmd; trace_cmd; fuzz_cmd; report_cmd; serve_cmd;
           ]))

@@ -2,19 +2,31 @@ type result = {
   nest : Itf_ir.Nest.t;
   vectors : Itf_dep.Depvec.t list;
   stages : Legality.stage list;
+  mutable interned : int;
 }
 
 exception Illegal of Legality.verdict
 
 let apply ?count ?vectors nest seq =
   match Legality.check ?count ?vectors nest seq with
-  | Legality.Legal { nest; vectors; stages } -> Ok { nest; vectors; stages }
+  | Legality.Legal { nest; vectors; stages } ->
+    Ok { nest; vectors; stages; interned = -1 }
   | verdict -> Error verdict
 
 let apply_exn ?vectors nest seq =
   match apply ?vectors nest seq with
   | Ok r -> r
   | Error verdict -> raise (Illegal verdict)
+
+(* Both writers race only with writers of the same deterministic value
+   (interning is canonical), so the unsynchronized cache is benign. *)
+let nest_id r =
+  if r.interned >= 0 then r.interned
+  else begin
+    let id = Itf_ir.Intern.nest_id r.nest in
+    r.interned <- id;
+    id
+  end
 
 let map_vectors seq vectors =
   List.fold_left (fun vs t -> Depmap.map_set t vs) vectors seq
@@ -30,5 +42,6 @@ let extend = Legality.extend
 
 let finish state =
   match Legality.state_verdict state with
-  | Legality.Legal { nest; vectors; stages } -> Ok { nest; vectors; stages }
+  | Legality.Legal { nest; vectors; stages } ->
+    Ok { nest; vectors; stages; interned = -1 }
   | verdict -> Error verdict

@@ -22,6 +22,9 @@ type result = {
   nest : Itf_ir.Nest.t;  (** the transformed nest, inits included *)
   vectors : Itf_dep.Depvec.t list;  (** its dependence vectors, by mapping *)
   stages : Legality.stage list;  (** intermediate states, for inspection *)
+  mutable interned : int;
+      (** cached {!Itf_ir.Intern.nest_id} of [nest]; [-1] until first
+          {!nest_id} call. Managed by {!nest_id} — do not write. *)
 }
 
 val apply :
@@ -41,6 +44,13 @@ val apply_exn :
 (** @raise Illegal on an illegal sequence. *)
 
 exception Illegal of Legality.verdict
+
+val nest_id : result -> int
+(** {!Itf_ir.Intern.nest_id} of the transformed nest, computed once per
+    result and cached in [interned] — memoized objectives and the tier-0
+    estimator both probe the same result, and the intern walk would
+    otherwise dominate each warm probe. Safe to call from any domain (the
+    cached value is deterministic, so racing writers agree). *)
 
 val map_vectors : Sequence.t -> Itf_dep.Depvec.t list -> Itf_dep.Depvec.t list
 (** Dependence-vector image of a whole sequence (no bounds checks). *)

@@ -11,7 +11,13 @@
    order depends on evaluation order, so total orders stay structural
    (see DESIGN.md section 10). *)
 
-type stats = { name : string; size : int; hits : int; misses : int }
+type stats = {
+  name : string;
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
 
 let registry : (unit -> stats) list ref = ref []
 let registry_mutex = Mutex.create ()
@@ -66,7 +72,13 @@ module Keyed (H : HashedType) = struct
     register (fun () ->
         Mutex.lock t.mutex;
         let s =
-          { name = t.name; size = t.next; hits = t.hits; misses = t.misses }
+          {
+            name = t.name;
+            size = t.next;
+            hits = t.hits;
+            misses = t.misses;
+            evictions = 0;
+          }
         in
         Mutex.unlock t.mutex;
         s);
@@ -119,25 +131,40 @@ end
    compute runs OUTSIDE the lock: objective evaluations take milliseconds
    and must not serialize worker domains. Racing computations of the same
    key are benign — the function is pure and deterministic, so both
-   produce the same value and either store wins. *)
+   produce the same value and either store wins.
+
+   Unlike the interning tables — whose ids must stay stable for the life
+   of the process, so they can never evict — a memo holds only derived
+   values of a pure function and may drop entries freely. [max_size]
+   bounds the table: when an insert would exceed it, the whole table is
+   flushed (a generational clear: O(1) amortized, no LRU bookkeeping on
+   the hot path) and every later probe just recomputes. Under a
+   long-lived server this caps memory; in one-shot runs the cap is never
+   reached and behavior is byte-identical. *)
 module Memo (H : HashedType) = struct
   module Tbl = Hashtbl.Make (H)
 
   type 'v t = {
     tbl : 'v Tbl.t;
     mutex : Mutex.t;
+    max_size : int;
     mutable hits : int;
     mutable misses : int;
+    mutable evictions : int;
     name : string;
   }
 
-  let create ?(initial = 256) name =
+  let default_max_size = 1 lsl 20
+
+  let create ?(initial = 256) ?(max_size = default_max_size) name =
     let t =
       {
         tbl = Tbl.create initial;
         mutex = Mutex.create ();
+        max_size = max 1 max_size;
         hits = 0;
         misses = 0;
+        evictions = 0;
         name;
       }
     in
@@ -149,6 +176,7 @@ module Memo (H : HashedType) = struct
             size = Tbl.length t.tbl;
             hits = t.hits;
             misses = t.misses;
+            evictions = t.evictions;
           }
         in
         Mutex.unlock t.mutex;
@@ -167,7 +195,13 @@ module Memo (H : HashedType) = struct
       Mutex.unlock t.mutex;
       let v = f () in
       Mutex.lock t.mutex;
-      if not (Tbl.mem t.tbl key) then Tbl.add t.tbl key v;
+      if not (Tbl.mem t.tbl key) then begin
+        if Tbl.length t.tbl >= t.max_size then begin
+          t.evictions <- t.evictions + Tbl.length t.tbl;
+          Tbl.reset t.tbl
+        end;
+        Tbl.add t.tbl key v
+      end;
       Mutex.unlock t.mutex;
       v
 

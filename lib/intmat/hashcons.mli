@@ -11,12 +11,20 @@
     stay structural (with physical-equality fast paths); only equality and
     hashing key on ids. *)
 
-type stats = { name : string; size : int; hits : int; misses : int }
+type stats = {
+  name : string;
+  size : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
 
 val stats : unit -> stats list
 (** Snapshot of every table created so far, sorted by name. [size] is the
     number of distinct entries (= ids handed out for interning tables),
-    [hits]/[misses] are cumulative probe counts. *)
+    [hits]/[misses] are cumulative probe counts, [evictions] the entries
+    dropped by {!Memo} size caps (always [0] for interning tables, which
+    must keep ids stable and never evict). *)
 
 module type HashedType = sig
   type t
@@ -51,11 +59,21 @@ end
 
 (** Memoization of a pure function by key. The compute callback runs
     outside the lock (objective evaluations are long); racing computations
-    of one key are benign because the function is deterministic. *)
+    of one key are benign because the function is deterministic.
+
+    Memo tables are size-capped: when an insert would grow the table past
+    [max_size] (default {!Memo.default_max_size}), the whole table is
+    flushed and the eviction is counted in {!stats}. Flushing a memo of a
+    pure function never changes results — later probes recompute — so
+    capped and uncapped runs are byte-identical apart from timing. *)
 module Memo (H : HashedType) : sig
   type 'v t
 
-  val create : ?initial:int -> string -> 'v t
+  val default_max_size : int
+  (** [2^20] entries — far above any single search, small enough to keep
+      a long-lived serve process flat. *)
+
+  val create : ?initial:int -> ?max_size:int -> string -> 'v t
   val find_or_add : 'v t -> H.t -> (unit -> 'v) -> 'v
   val size : 'v t -> int
 end

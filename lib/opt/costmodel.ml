@@ -557,7 +557,7 @@ let make ?(memo = true) spec : Framework.result -> estimate =
   else
     let fp = fingerprint spec in
     fun result ->
-      let nid = Itf_ir.Intern.nest_id result.Framework.nest in
+      let nid = Framework.nest_id result in
       let key =
         fp
         @ (nid :: List.map Itf_dep.Depvec.id result.Framework.vectors)

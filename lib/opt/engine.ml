@@ -21,12 +21,19 @@ type decision = {
    accesses keep resolving here, as they did before tiering existed. *)
 type rejection = { candidate : Sequence.t; cause : cause }
 
+(* Anytime budget: wall-clock deadline (seconds from search start) and/or
+   node cap, both checked only at batch boundaries — see [search]. *)
+type budget = { deadline_s : float option; max_nodes : int option }
+
+type completion = Complete | Degraded of { cut : string }
+
 type outcome = {
   sequence : Sequence.t;
   canonical : Sequence.t;
   result : Framework.result;
   score : float;
   stats : Stats.t;
+  completion : completion;
   rejections : rejection list;
   decisions : decision list;
 }
@@ -47,6 +54,12 @@ let verdict_label = function
   | Survived -> "survived"
   | Screened_out -> "screened_out"
   | Bound_pruned -> "bound_pruned"
+
+let completion_label = function Complete -> "ok" | Degraded _ -> "degraded"
+
+let no_budget = { deadline_s = None; max_nodes = None }
+
+let deadline s = { no_budget with deadline_s = Some s }
 
 (* Cache key of a candidate's canonical sequence. With interning on it is
    the canonical sequence's dense intern id — hashing and equality are
@@ -115,6 +128,12 @@ let order_checked a b =
     let c = Sequence.compare a.ccanon b.ccanon in
     if c <> 0 then c else Sequence.compare a.cseq b.cseq
 
+(* The structural part of the candidate order alone — what the beam falls
+   back to when exact scores tie. *)
+let order_structural a b =
+  let c = Sequence.compare a.ccanon b.ccanon in
+  if c <> 0 then c else Sequence.compare a.cseq b.cseq
+
 (* One single-tier candidate evaluation: extend the parent prefix by one
    template, run the final dependence test, score. Runs on worker domains
    — all mutable state ([count]) is local, the result and its rejection
@@ -163,8 +182,8 @@ let default_exact_topk = 12
 
 let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
     ?(tracer = Tracer.null) ?metrics ?(provenance = false) ?tier0
-    ?(exact_topk = default_exact_topk) ?(tier0_only = false)
-    ?(intern = true) nest (objective : Search.objective) =
+    ?(exact_topk = default_exact_topk) ?(tier0_only = false) ?(intern = true)
+    ?budget ?(cache_cap = max_int) nest (objective : Search.objective) =
   let domains =
     match domains with Some d -> max 1 d | None -> default_domains ()
   in
@@ -238,6 +257,30 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   let expand_time = ref 0. in
   let evaluate_time = ref 0. in
   let merge_time = ref 0. in
+  (* Anytime budget: consulted only at batch boundaries (step starts, and
+     between a step's evaluation batches), never inside one, so a given
+     cut point always yields the same incumbent — results are a
+     deterministic function of the cut point, and a search that never
+     trips a checkpoint is bit-identical to an unbudgeted one. Once set,
+     [cut] short-circuits every later checkpoint. *)
+  let cut = ref None in
+  let over_budget site =
+    (match (!cut, budget) with
+    | Some _, _ | _, None -> ()
+    | None, Some b ->
+      let timed_out =
+        match b.deadline_s with
+        | Some d -> Unix.gettimeofday () -. t_start >= d
+        | None -> false
+      in
+      let nodes_out =
+        match b.max_nodes with Some n -> !explored >= n | None -> false
+      in
+      if timed_out || nodes_out then
+        cut :=
+          Some (site ^ ":" ^ if timed_out then "deadline" else "nodes"));
+    !cut <> None
+  in
   (* One persistent process-wide pool, grown on demand, instead of forking
      domains per search: spawn cost rivals a whole small search. Purely
      sequential searches never touch it. *)
@@ -298,6 +341,19 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
        slots), so parallel runs stay bit-identical to sequential ones. *)
     let cache : entry KeyTbl.t = KeyTbl.create 256 in
     KeyTbl.add cache root.key (Scored root);
+    (* [cache_cap] bounds the per-search memo. Entries are pure facts
+       about (nest, canonical sequence), so flushing loses only speed —
+       later steps re-derive what they need — never correctness. The
+       default cap is never reached, keeping single-shot runs
+       bit-identical in work done as well as results. *)
+    let cache_evictions = ref 0 in
+    let enforce_cache_cap () =
+      if KeyTbl.length cache > cache_cap then begin
+        cache_evictions := !cache_evictions + KeyTbl.length cache;
+        KeyTbl.reset cache;
+        KeyTbl.add cache root.key (Scored root)
+      end
+    in
     (* Best exact score seen so far — the branch-and-bound incumbent. Only
        updated between steps, so every candidate of one step faces the
        same cutoff regardless of evaluation order. *)
@@ -305,9 +361,10 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
     let bests = ref [ root ] in
     let frontier = ref [ root ] in
     for step = 1 to steps do
-      Tracer.span tracer "engine.step"
-        ~attrs:(fun () -> [ ("step", Int step) ])
-        (fun () ->
+      if not (over_budget (Printf.sprintf "step%d" step)) then
+        Tracer.span tracer "engine.step"
+          ~attrs:(fun () -> [ ("step", Int step) ])
+          (fun () ->
           let t0 = Unix.gettimeofday () in
           (* Expand: generate moves, canonicalize, dedupe within the
              step (first spelling wins), consult the cache. Sequential
@@ -370,8 +427,10 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
              order — so both the merge below and the span tree are
              deterministic. *)
           let fresh =
-            match tier0_fn with
-            | None ->
+            if over_budget (Printf.sprintf "step%d.evaluate" step) then None
+            else
+              match tier0_fn with
+              | None ->
               (* Single-tier: fused legality + exact objective per
                  candidate, exactly the pre-tiering behaviour. *)
               let results =
@@ -423,7 +482,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     KeyTbl.replace cache key (Failed cause);
                     reject cand cause)
                 results;
-              List.rev !fresh
+              Some (List.rev !fresh)
             | Some t0 ->
               (* Tier 0: legality + analytic estimate for every fresh
                  candidate (cheap — no simulation). *)
@@ -461,15 +520,25 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     KeyTbl.replace cache key (Failed cause);
                     reject cand cause)
                 results;
+              if over_budget (Printf.sprintf "step%d.exact" step) then None
+              else begin
               (* Screen, deterministically: sort every tier-0-estimated
                  candidate (fresh and cached alike) by the estimate order;
                  cut dominated subtrees with the admissible bound against
-                 the incumbent; only the top-K survivors reach the exact
-                 simulator. *)
+                 the incumbent; the top-K by estimate reach the exact
+                 simulator. The [beam] structurally-smallest survivors of
+                 the bound cut are forwarded too: the beam breaks exact-
+                 score ties on the structural order, so those candidates
+                 must hold exact scores — otherwise a screen full of
+                 estimator favorites rekeys the whole frontier whenever
+                 the exact objective ties (estimator noise), collapsing
+                 the cross-step cache and inflating legality work on
+                 bulky nests. Extra exact scores never change the winner:
+                 they can only move the beam toward the untiered one. *)
               let screened =
                 List.sort order_checked (checked_hits @ List.rev !pending)
               in
-              let survivors = ref [] and kept = ref 0 in
+              let bound_ok = ref [] in
               List.iter
                 (fun c ->
                   if
@@ -482,8 +551,36 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     decide c.cseq c.cest Bound_pruned;
                     KeyTbl.replace cache c.ckey (Checked c)
                   end
-                  else if tier0_only || !kept < exact_topk then begin
+                  else bound_ok := c :: !bound_ok)
+                screened;
+              let bound_ok = List.rev !bound_ok in
+              let smallest =
+                if tier0_only then KeyTbl.create 1
+                else begin
+                  let tbl = KeyTbl.create 16 in
+                  List.iteri
+                    (fun k c -> if k < beam then KeyTbl.replace tbl c.ckey ())
+                    (List.sort order_structural bound_ok);
+                  tbl
+                end
+              in
+              (* The top-K cut never splits an estimate tie class: tied
+                 candidates are indistinguishable to the screen, so which
+                 side of the cut they land on would be decided by the
+                 structural tie-break alone — and the exact tier (which
+                 the beam trusts) must see all of them or none. *)
+              let survivors = ref [] and kept = ref 0 in
+              let last_kept_est = ref Float.nan in
+              List.iter
+                (fun c ->
+                  let est = c.cest.Costmodel.score in
+                  if
+                    tier0_only || !kept < exact_topk
+                    || est = !last_kept_est
+                    || KeyTbl.mem smallest c.ckey
+                  then begin
                     incr kept;
+                    if !kept <= exact_topk then last_kept_est := est;
                     decide c.cseq c.cest Survived;
                     survivors := c :: !survivors
                   end
@@ -492,7 +589,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     decide c.cseq c.cest Screened_out;
                     KeyTbl.replace cache c.ckey (Checked c)
                   end)
-                screened;
+                bound_ok;
               let survivors = Array.of_list (List.rev !survivors) in
               (* Exact tier: simulate only the survivors. In tier0-only
                  mode the estimate itself is the score. *)
@@ -563,24 +660,34 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     KeyTbl.replace cache c.ckey (Failed cause);
                     reject c.cseq cause)
                 scored;
-              List.rev !fresh
+              Some (List.rev !fresh)
+              end
           in
-          let t2 = Unix.gettimeofday () in
-          (* Merge: select the beam with the total order, advance the
-             branch-and-bound incumbent. *)
-          Tracer.span tracer "engine.merge" (fun () ->
-              let top =
-                List.filteri
-                  (fun k _ -> k < beam)
-                  (List.sort order (hits @ fresh))
-              in
-              (match top with
-              | best :: _ -> incumbent := Float.min !incumbent best.score
-              | [] -> ());
-              frontier := top;
-              bests := top @ !bests);
-          let t3 = Unix.gettimeofday () in
-          merge_time := !merge_time +. (t3 -. t2))
+          match fresh with
+          | None ->
+            (* Budget cut mid-step: the whole partial step is abandoned —
+               the frontier, incumbent and best-so-far list stay exactly
+               as the last completed step left them, so the outcome is
+               the same whichever batch the cut interrupted. *)
+            ()
+          | Some fresh ->
+            let t2 = Unix.gettimeofday () in
+            (* Merge: select the beam with the total order, advance the
+               branch-and-bound incumbent. *)
+            Tracer.span tracer "engine.merge" (fun () ->
+                let top =
+                  List.filteri
+                    (fun k _ -> k < beam)
+                    (List.sort order (hits @ fresh))
+                in
+                (match top with
+                | best :: _ -> incumbent := Float.min !incumbent best.score
+                | [] -> ());
+                frontier := top;
+                bests := top @ !bests);
+            let t3 = Unix.gettimeofday () in
+            merge_time := !merge_time +. (t3 -. t2);
+            enforce_cache_cap ())
     done;
     let winner = List.hd (List.sort order !bests) in
     let total = Unix.gettimeofday () -. t_start in
@@ -605,6 +712,15 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
       }
     in
     Option.iter (fun m -> Stats.record m stats) metrics;
+    Option.iter
+      (fun m ->
+        Metrics.set
+          (Metrics.gauge m "engine.cache.size")
+          (float (KeyTbl.length cache));
+        Metrics.set
+          (Metrics.gauge m "engine.cache.evictions")
+          (float !cache_evictions))
+      metrics;
     (* Intern/memo table health, one gauge triple per table, labeled by
        table name. Gauges are absolute process-wide values (last write
        wins), so repeated searches just refresh them. *)
@@ -621,7 +737,10 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               (float s.Itf_mat.Hashcons.hits);
             Metrics.set
               (Metrics.gauge m ~labels "intern.misses")
-              (float s.Itf_mat.Hashcons.misses))
+              (float s.Itf_mat.Hashcons.misses);
+            Metrics.set
+              (Metrics.gauge m ~labels "intern.evictions")
+              (float s.Itf_mat.Hashcons.evictions))
           (Itf_mat.Hashcons.stats ()))
       metrics;
     Some
@@ -631,6 +750,10 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
         result = winner.result;
         score = winner.score;
         stats;
+        completion =
+          (match !cut with
+          | None -> Complete
+          | Some site -> Degraded { cut = site });
         rejections = List.rev !rejections;
         decisions = List.rev !decisions;
       }

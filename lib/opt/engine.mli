@@ -66,12 +66,30 @@ type decision = {
 
 type rejection = { candidate : Itf_core.Sequence.t; cause : cause }
 
+(** Anytime budget for {!search}: a wall-clock deadline (seconds from
+    search start) and/or a cap on nodes explored. Checked only at batch
+    boundaries — at every step start, and between a step's evaluation
+    batches (after the single-tier batch would start; between the tier-0
+    and exact batches on tiered searches). On expiry the search stops and
+    returns the best-so-far incumbent marked {!Degraded} instead of
+    raising; a partially evaluated step is abandoned whole, so the
+    outcome is a deterministic function of the cut point. *)
+type budget = { deadline_s : float option; max_nodes : int option }
+
+(** Whether the search ran to completion or was cut by its {!budget}.
+    [Degraded.cut] names the checkpoint that tripped, e.g.
+    ["step2.exact:deadline"] — same cut point, same outcome. *)
+type completion = Complete | Degraded of { cut : string }
+
 type outcome = {
   sequence : Itf_core.Sequence.t;  (** winning sequence, as generated *)
   canonical : Itf_core.Sequence.t;  (** its peephole reduction *)
   result : Itf_core.Framework.result;
   score : float;
   stats : Stats.t;
+  completion : completion;
+      (** {!Complete}, or {!Degraded} when the {!budget} expired and
+          [sequence] is only the best found before the cut *)
   rejections : rejection list;
       (** every rejected candidate in deterministic merge order, with its
           cause — empty unless [~provenance:true] *)
@@ -88,6 +106,15 @@ val cause_labels : cause -> string list
 
 val verdict_label : tier0_verdict -> string
 (** ["survived"], ["screened_out"] or ["bound_pruned"]. *)
+
+val completion_label : completion -> string
+(** ["ok"] or ["degraded"] — the serve-layer status slug. *)
+
+val no_budget : budget
+(** No limits — identical to omitting [?budget]. *)
+
+val deadline : float -> budget
+(** [deadline s] is a wall-clock-only budget of [s] seconds. *)
 
 val default_domains : unit -> int
 (** [max 1 (Domain.recommended_domain_count () - 1)] — leave one core for
@@ -109,6 +136,8 @@ val search :
   ?exact_topk:int ->
   ?tier0_only:bool ->
   ?intern:bool ->
+  ?budget:budget ->
+  ?cache_cap:int ->
   Nest.t ->
   Search.objective ->
   outcome option
@@ -135,9 +164,27 @@ val search :
     bench gate asserts this). All interning runs on the calling domain;
     worker domains only read canonical values.
 
+    [budget], when given, makes the search {e anytime}: the deadline
+    and/or node cap are checked at batch boundaries only (never inside a
+    batch), and on expiry the best candidate found so far is returned
+    with [completion = Degraded] — never an exception. A cut abandons the
+    in-flight step entirely, so two runs cut at the same checkpoint
+    return bit-identical outcomes, and a run whose budget never trips is
+    bit-identical to an unbudgeted one. The root nest is always
+    evaluated, budget or not: even a 0-second deadline yields the
+    identity sequence rather than [None].
+
+    [cache_cap] (default unbounded) caps the per-search cross-step cache:
+    when a step ends with more entries, the cache is flushed (entries are
+    pure facts about canonical sequences, so this costs recomputation,
+    never correctness). The final size and entries evicted are published
+    as [engine.cache.size] / [engine.cache.evictions] gauges when
+    [metrics] is given.
+
     [tracer]/[metrics] default to disabled; [provenance] (default false)
     retains per-candidate rejection causes and tier-0 decisions in the
     outcome; with [metrics], intern-table sizes and hit counts are
     published as [intern.size]/[intern.hits]/[intern.misses] gauges
     labeled by table name. Returns [None] when not even the untransformed
     nest is scoreable. *)
+

@@ -259,7 +259,7 @@ let memoized ?(memo = true) table fingerprint metrics hit_metric
     (f : Framework.result -> float) : objective =
   if not memo then f
   else fun result ->
-    let nid = Itf_ir.Intern.nest_id result.Framework.nest in
+    let nid = Framework.nest_id result in
     let computed = ref false in
     let v =
       OMemo.find_or_add table

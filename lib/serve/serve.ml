@@ -1,0 +1,517 @@
+(* loopt serve — a long-running search service over JSONL.
+
+   One request per line on stdin (responses on stdout) and, optionally, on
+   a Unix-domain socket with one thread per connection. All parsing and
+   searching is serialized through a single server lock: the hash-cons
+   intern tables and the engine's coordinator are single-writer by design
+   (DESIGN.md §10), and the whole point of the daemon is that consecutive
+   requests share those process-wide tables — the objective memos, the
+   canonicalization memo and the intern tables stay warm across requests,
+   so a repeated search costs a table probe per candidate instead of a
+   simulation. On top of that sits a bounded LRU response cache keyed on
+   the request fingerprint (interned nest id + search configuration, id
+   and budget excluded): an identical request is answered without running
+   the engine at all. Only [Complete] outcomes are cached — a degraded
+   answer is an artifact of one request's deadline, not a fact about the
+   nest — so cache hits never launder a cut search into an "ok". *)
+
+module Json = Itf_obs.Json
+module Metrics = Itf_obs.Metrics
+module Tracer = Itf_obs.Tracer
+module Engine = Itf_opt.Engine
+module Sequence = Itf_core.Sequence
+
+(* ------------------------------------------------------------------ *)
+(* Bounded LRU response cache                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Lru = struct
+  (* Capacity is small (default {!default_max_cache}), so recency is a
+     per-entry stamp and eviction an O(cap) scan — no intrusive list. *)
+  type t = {
+    tbl : (string, Json.t * int ref) Hashtbl.t;
+    cap : int;
+    mutable tick : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create cap =
+    {
+      tbl = Hashtbl.create 64;
+      cap = max 0 cap;
+      tick = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+    }
+
+  let find t key =
+    match Hashtbl.find_opt t.tbl key with
+    | Some (v, stamp) ->
+      t.tick <- t.tick + 1;
+      stamp := t.tick;
+      t.hits <- t.hits + 1;
+      Some v
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+  let add t key v =
+    if t.cap > 0 then begin
+      if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.cap then begin
+        let victim =
+          Hashtbl.fold
+            (fun k (_, stamp) acc ->
+              match acc with
+              | Some (_, oldest) when oldest <= !stamp -> acc
+              | _ -> Some (k, !stamp))
+            t.tbl None
+        in
+        match victim with
+        | Some (k, _) ->
+          Hashtbl.remove t.tbl k;
+          t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.tbl key (v, ref t.tick)
+    end
+
+  let size t = Hashtbl.length t.tbl
+end
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_cache = 64
+
+type t = {
+  domains : int option;
+  default_deadline_ms : float option;
+  cache : Lru.t;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  metrics_out : string option;
+  trace_out : string option;
+  lock : Mutex.t;  (** serializes searches, interning and the cache *)
+  clients : (Unix.file_descr list ref * Mutex.t);
+  mutable stopping : bool;
+}
+
+let create ?domains ?default_deadline_ms ?(max_cache = default_max_cache)
+    ?metrics_out ?trace_out () =
+  {
+    domains;
+    default_deadline_ms;
+    cache = Lru.create max_cache;
+    metrics = Metrics.create ();
+    tracer = (if trace_out = None then Tracer.null else Tracer.create ());
+    metrics_out;
+    trace_out;
+    lock = Mutex.create ();
+    clients = (ref [], Mutex.create ());
+    stopping = false;
+  }
+
+let metrics t = t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  id : Json.t;  (** echoed verbatim; [Null] when absent *)
+  nest_src : string;
+  objective : string;
+  params : (string * int) list;
+  procs : int;
+  steps : int;
+  beam : int;
+  exact_topk : int;
+  tier0_only : bool;
+  deadline_ms : float option;
+  max_nodes : int option;
+}
+
+let opt_field name conv json = Option.bind (Json.member name json) conv
+
+let int_field name ~default json =
+  match Json.member name json with
+  | None -> Ok default
+  | Some v -> (
+    match Json.to_int v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let bool_field name ~default json =
+  match Json.member name json with
+  | None | Some Json.Null -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" name)
+
+let params_field json =
+  match Json.member "params" json with
+  | None -> Ok []
+  | Some (Json.Obj kvs) ->
+    let rec conv acc = function
+      | [] -> Ok (List.rev acc)
+      | (k, v) :: rest -> (
+        match Json.to_int v with
+        | Some x -> conv ((k, x) :: acc) rest
+        | None -> Error (Printf.sprintf "parameter %S must be an integer" k))
+    in
+    conv [] kvs
+  | Some _ -> Error "field \"params\" must be an object of integers"
+
+let ( let* ) = Result.bind
+
+let parse_request json =
+  match json with
+  | Json.Obj _ ->
+    let* nest_src =
+      match opt_field "nest" Json.to_str json with
+      | Some s -> Ok s
+      | None -> Error "missing required string field \"nest\""
+    in
+    let objective =
+      Option.value ~default:"locality" (opt_field "objective" Json.to_str json)
+    in
+    let* () =
+      if objective = "locality" || objective = "parallel" then Ok ()
+      else
+        Error
+          (Printf.sprintf "unknown objective %S (use locality|parallel)"
+             objective)
+    in
+    let* params = params_field json in
+    let* procs = int_field "procs" ~default:8 json in
+    let* steps = int_field "steps" ~default:2 json in
+    let* beam = int_field "beam" ~default:6 json in
+    let* exact_topk =
+      int_field "exact_topk" ~default:Engine.default_exact_topk json
+    in
+    let* tier0_only = bool_field "tier0_only" ~default:false json in
+    let* () =
+      if tier0_only && exact_topk = 0 then
+        Error "tier0_only conflicts with exact_topk = 0"
+      else Ok ()
+    in
+    let deadline_ms = opt_field "deadline_ms" Json.to_float json in
+    let max_nodes = opt_field "max_nodes" Json.to_int json in
+    Ok
+      {
+        id = Option.value ~default:Json.Null (Json.member "id" json);
+        nest_src;
+        objective;
+        params;
+        procs;
+        steps;
+        beam;
+        exact_topk;
+        tier0_only;
+        deadline_ms;
+        max_nodes;
+      }
+  | _ -> Error "request must be a JSON object"
+
+(* The response-cache key: everything that determines the answer. The
+   nest contributes its intern id, so textually different spellings of
+   the same nest share an entry; the budget and request id are excluded
+   (they affect how long we search, not what the full answer is — and
+   degraded answers are never cached). *)
+let fingerprint req nest =
+  let params =
+    List.sort compare req.params
+    |> List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+    |> String.concat ","
+  in
+  Printf.sprintf "%d|%s|%s|%d|%d|%d|%b|%d"
+    (Itf_ir.Intern.nest_id nest)
+    req.objective params req.steps req.beam req.exact_topk req.tier0_only
+    req.procs
+
+(* ------------------------------------------------------------------ *)
+(* Handling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let error_response ?(id = Json.Null) msg =
+  Json.Obj [ ("id", id); ("status", Json.String "error"); ("error", Json.String msg) ]
+
+let render_sequence seq =
+  if seq = [] then "identity" else Format.asprintf "%a" Sequence.pp seq
+
+let count_request t status =
+  Metrics.incr
+    (Metrics.counter t.metrics ~labels:[ ("status", status) ] "serve.requests")
+
+let publish_cache_gauges t =
+  let g name v = Metrics.set (Metrics.gauge t.metrics name) (float_of_int v) in
+  g "serve.cache.size" (Lru.size t.cache);
+  g "serve.cache.hits" t.cache.Lru.hits;
+  g "serve.cache.misses" t.cache.Lru.misses;
+  g "serve.cache.evictions" t.cache.Lru.evictions
+
+let write_text_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+(* Rewritten whole after every request so an external observer (the CI
+   smoke test, an operator's tail loop) always sees a complete JSON
+   document, not a moving append point. *)
+let flush_observability t =
+  (match t.metrics_out with
+  | None -> ()
+  | Some path ->
+    write_text_file path (Json.to_string (Metrics.dump t.metrics) ^ "\n"));
+  match t.trace_out with
+  | None -> ()
+  | Some path ->
+    write_text_file path
+      (String.concat "\n" (Tracer.jsonl_lines (Tracer.roots t.tracer)) ^ "\n")
+
+let search_response t req ~t_recv =
+  match Itf_lang.Parser.parse req.nest_src with
+  | exception Itf_lang.Parser.Error { line; message } ->
+    Error (Printf.sprintf "nest:%d: %s" line message)
+  | prog -> (
+    let nest = prog.Itf_lang.Parser.nest in
+    let key = fingerprint req nest in
+    match Lru.find t.cache key with
+    | Some cached -> Ok (`Cached cached)
+    | None ->
+      let memo = true in
+      let obj, tier0 =
+        match req.objective with
+        | "locality" ->
+          ( Itf_opt.Search.cache_misses ~metrics:t.metrics ~memo
+              ~params:req.params (),
+            Itf_opt.Costmodel.Locality
+              {
+                config =
+                  {
+                    Itf_machine.Cache.size_bytes = 8192;
+                    line_bytes = 64;
+                    assoc = 2;
+                  };
+                elem_bytes = 8;
+                params = req.params;
+              } )
+        | _ ->
+          ( Itf_opt.Search.parallel_time ~metrics:t.metrics ~memo
+              ~procs:req.procs ~params:req.params (),
+            Itf_opt.Costmodel.Parallel
+              { procs = req.procs; spawn_overhead = 2.0; params = req.params }
+          )
+      in
+      let tier0 = if req.exact_topk = 0 then None else Some tier0 in
+      (* The deadline is measured from receipt, so time spent queued
+         behind other requests counts against it — a late search is cut
+         shorter, not granted a fresh allowance. *)
+      let deadline_ms =
+        match req.deadline_ms with
+        | Some _ as d -> d
+        | None -> t.default_deadline_ms
+      in
+      let budget =
+        match (deadline_ms, req.max_nodes) with
+        | None, None -> None
+        | deadline_ms, max_nodes ->
+          let deadline_s =
+            Option.map
+              (fun ms ->
+                Float.max 0. ((ms /. 1000.) -. (Unix.gettimeofday () -. t_recv)))
+              deadline_ms
+          in
+          Some { Engine.deadline_s; max_nodes }
+      in
+      let outcome =
+        Tracer.span t.tracer "serve.request"
+          ~attrs:(fun () ->
+            [
+              ("id", Tracer.String (Json.to_string req.id));
+              ("fingerprint", Tracer.String key);
+            ])
+          (fun () ->
+            Engine.search ~beam:req.beam ~steps:req.steps ?domains:t.domains
+              ~tracer:t.tracer ~metrics:t.metrics ?tier0
+              ~exact_topk:(max 1 req.exact_topk) ~tier0_only:req.tier0_only
+              ?budget nest obj)
+      in
+      (match outcome with
+      | None -> Error "nest could not be scored"
+      | Some o ->
+        let status = Engine.completion_label o.Engine.completion in
+        let body =
+          [
+            ("status", Json.String status);
+            ("score", Json.Float o.Engine.score);
+            ("sequence", Json.String (render_sequence o.Engine.sequence));
+            ("canonical", Json.String (render_sequence o.Engine.canonical));
+            ( "explored",
+              Json.Int o.Engine.stats.Itf_opt.Stats.nodes_explored );
+            ( "exact_evals",
+              Json.Int o.Engine.stats.Itf_opt.Stats.objective_evaluations );
+          ]
+          @
+          match o.Engine.completion with
+          | Engine.Complete -> []
+          | Engine.Degraded { cut } -> [ ("cut", Json.String cut) ]
+        in
+        let body = Json.Obj body in
+        if o.Engine.completion = Engine.Complete then Lru.add t.cache key body;
+        Ok (`Fresh body)))
+
+(* [handle t json] answers one decoded request; returns the response and
+   whether the server should stop. Never raises: any error — malformed
+   request, parse failure, an exception escaping the engine — becomes a
+   [status = "error"] response. *)
+let handle t json =
+  let t_recv = Unix.gettimeofday () in
+  match json with
+  | Json.Obj _ when Json.member "op" json = Some (Json.String "shutdown") ->
+    t.stopping <- true;
+    count_request t "ok";
+    ( Json.Obj
+        [
+          ("id", Option.value ~default:Json.Null (Json.member "id" json));
+          ("status", Json.String "ok");
+          ("shutdown", Json.Bool true);
+        ],
+      true )
+  | _ ->
+    let resp =
+      match parse_request json with
+      | Error msg ->
+        error_response
+          ?id:(Json.member "id" json)
+          msg
+      | Ok req -> (
+        match
+          Mutex.protect t.lock (fun () -> search_response t req ~t_recv)
+        with
+        | Error msg -> error_response ~id:req.id msg
+        | Ok answer ->
+          let body, cached =
+            match answer with
+            | `Cached body -> (body, true)
+            | `Fresh body -> (body, false)
+          in
+          let time_ms = (Unix.gettimeofday () -. t_recv) *. 1000. in
+          Json.Obj
+            (("id", req.id)
+            :: (match body with Json.Obj kvs -> kvs | v -> [ ("result", v) ])
+            @ [ ("cached", Json.Bool cached); ("time_ms", Json.Float time_ms) ]
+            )
+        | exception e ->
+          error_response ~id:req.id
+            ("internal error: " ^ Printexc.to_string e))
+    in
+    let status =
+      match Json.member "status" resp with
+      | Some (Json.String s) -> s
+      | _ -> "error"
+    in
+    Mutex.protect t.lock (fun () ->
+        count_request t status;
+        publish_cache_gauges t;
+        flush_observability t);
+    (resp, false)
+
+let handle_line t line =
+  match Json.of_string line with
+  | Error msg -> (error_response ("malformed JSON: " ^ msg), false)
+  | Ok json -> handle t json
+
+(* ------------------------------------------------------------------ *)
+(* I/O loops                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_channel t ic oc =
+  let rec loop () =
+    if not t.stopping then
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+        let line = String.trim line in
+        if line = "" then loop ()
+        else begin
+          let resp, stop = handle_line t line in
+          output_string oc (Json.to_string resp);
+          output_char oc '\n';
+          flush oc;
+          if not stop then loop ()
+        end
+  in
+  loop ()
+
+let track_client t fd =
+  let fds, lock = t.clients in
+  Mutex.protect lock (fun () -> fds := fd :: !fds)
+
+let untrack_client t fd =
+  let fds, lock = t.clients in
+  Mutex.protect lock (fun () -> fds := List.filter (fun f -> f != fd) !fds)
+
+let close_clients t =
+  let fds, lock = t.clients in
+  let all = Mutex.protect lock (fun () -> !fds) in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ())
+    all
+
+let listen_unix path =
+  (try Unix.unlink path with _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  fd
+
+let accept_loop t listen_fd =
+  let rec loop () =
+    match Unix.accept listen_fd with
+    | exception _ -> ()  (* listener closed: shutdown *)
+    | client, _ ->
+      track_client t client;
+      ignore
+        (Thread.create
+           (fun () ->
+             let ic = Unix.in_channel_of_descr client in
+             let oc = Unix.out_channel_of_descr client in
+             (try serve_channel t ic oc with _ -> ());
+             untrack_client t client;
+             (try flush oc with _ -> ());
+             try Unix.close client with _ -> ())
+           ());
+      if not t.stopping then loop ()
+  in
+  loop ()
+
+(* [run t] serves requests from stdin (responses to stdout) and, when
+   [socket] is given, from a Unix-domain socket with one thread per
+   connection. Returns after stdin reaches EOF or a shutdown request
+   arrives on any channel; the listener and live connections are closed
+   on the way out. *)
+let run ?socket t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let listener =
+    Option.map
+      (fun path ->
+        let fd = listen_unix path in
+        (path, fd, Thread.create (fun () -> accept_loop t fd) ()))
+      socket
+  in
+  serve_channel t stdin stdout;
+  t.stopping <- true;
+  (match listener with
+  | None -> ()
+  | Some (path, fd, thread) ->
+    (try Unix.close fd with _ -> ());
+    close_clients t;
+    (try Thread.join thread with _ -> ());
+    try Unix.unlink path with _ -> ());
+  Mutex.protect t.lock (fun () -> flush_observability t)

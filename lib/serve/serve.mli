@@ -1,0 +1,64 @@
+(** [loopt serve] — a long-running search daemon speaking JSONL.
+
+    One JSON object per line on stdin (responses on stdout) and,
+    optionally, on a Unix-domain socket with one thread per connection.
+    Requests are serialized through a single server lock so every search
+    shares the process-wide hash-cons intern tables, the canonicalization
+    memo and the exact-objective memos ({!Itf_opt.Search}) — the second
+    identical-shaped request is answered mostly from those tables, and an
+    {e exactly} identical request is answered from a bounded LRU response
+    cache without running the engine at all.
+
+    {b Request} fields: ["nest"] (required; loop-nest source text),
+    ["id"] (echoed verbatim), ["objective"] (["locality"] (default) or
+    ["parallel"]), ["params"] (object of integers), ["procs"], ["steps"],
+    ["beam"], ["exact_topk"] ([0] disables the tier-0 screen),
+    ["tier0_only"], ["deadline_ms"], ["max_nodes"]. The deadline is
+    measured from receipt, so queueing delay counts against it.
+    [{"op": "shutdown"}] stops the server.
+
+    {b Response} fields: ["id"], ["status"] ([ok] — complete; [degraded]
+    — budget expired, best-so-far answer plus a ["cut"] checkpoint name;
+    [error] — malformed request, unparseable nest, unscoreable nest),
+    ["score"], ["sequence"], ["canonical"], ["explored"],
+    ["exact_evals"], ["cached"], ["time_ms"]. Errors are responses, never
+    crashes. Only complete outcomes enter the response cache, so a cached
+    answer is never a previously degraded one. *)
+
+type t
+(** Server state: response cache, metrics registry, tracer, lock. *)
+
+val default_max_cache : int
+(** Default response-cache capacity (entries). *)
+
+val create :
+  ?domains:int ->
+  ?default_deadline_ms:float ->
+  ?max_cache:int ->
+  ?metrics_out:string ->
+  ?trace_out:string ->
+  unit ->
+  t
+(** [create ()] builds a server. [domains] is passed to every
+    {!Itf_opt.Engine.search}; [default_deadline_ms] applies to requests
+    that carry no ["deadline_ms"] of their own; [max_cache] (default
+    {!default_max_cache}, [0] disables caching) bounds the LRU response
+    cache; [metrics_out]/[trace_out] name files rewritten after every
+    request with the {!Itf_obs.Metrics} dump ([serve.requests{status=...}]
+    counters, [serve.cache.*] gauges, engine and simulator counters) and
+    the span trace. *)
+
+val metrics : t -> Itf_obs.Metrics.t
+(** The server's metrics registry (shared with every search it runs). *)
+
+val handle_line : t -> string -> Itf_obs.Json.t * bool
+(** [handle_line t line] answers one JSONL request: the response value
+    and whether the request asked the server to stop. Never raises —
+    malformed input and engine failures become [status = "error"]
+    responses. Exposed for tests; {!run} is the I/O loop around it. *)
+
+val run : ?socket:string -> t -> unit
+(** [run t] serves stdin/stdout until EOF or a shutdown request; with
+    [socket], also listens on that Unix-domain socket path (removed and
+    re-created), one thread per connection. Closes the listener and live
+    connections on the way out and writes the final metrics/trace dumps. *)

@@ -1,0 +1,299 @@
+(* Tests for the anytime budget (lib/opt/engine.ml) and the serve layer
+   (lib/serve/serve.ml):
+
+   - budget semantics: an expired budget returns the best-so-far outcome
+     marked [Degraded] — never an exception, never [None] — and the cut
+     is deterministic: same budget cut point, bit-identical outcome. A
+     budget that never trips leaves the search bit-identical to an
+     unbudgeted one.
+   - serve protocol: request/response roundtrip over [handle_line]; a
+     second identical request is answered from the response cache; a
+     deadline-cut request reports [status = "degraded"] and is NOT
+     cached; malformed JSON, malformed requests and unparseable nests
+     produce [status = "error"] responses rather than crashes; the LRU
+     response cache evicts once past capacity.
+   - tiered-regression pin: on matmul, a tiered search must see at least
+     as many cross-step cache hits as the untiered search it screens for
+     (the screen reorders exact evaluations; it must not destroy the
+     cache's cross-step hit stream — the v7 collapse regression). *)
+
+module Engine = Itf_opt.Engine
+module Search = Itf_opt.Search
+module Costmodel = Itf_opt.Costmodel
+module Sequence = Itf_core.Sequence
+module Serve = Itf_serve.Serve
+module Json = Itf_obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let seq_testable =
+  Alcotest.testable Sequence.pp (fun a b -> Sequence.compare a b = 0)
+
+let matmul_src =
+  String.concat "\n"
+    [
+      "do i = 1, n";
+      "  do j = 1, n";
+      "    do k = 1, n";
+      "      A(i, j) = A(i, j) + B(i, k) * C(k, j)";
+      "    enddo";
+      "  enddo";
+      "enddo";
+      "";
+    ]
+
+let params = [ ("n", 12) ]
+let obj () = Search.cache_misses ~params ()
+
+let tier0_spec =
+  Costmodel.Locality
+    {
+      config = { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 };
+      elem_bytes = 8;
+      params;
+    }
+
+let matmul_nest () =
+  (Itf_lang.Parser.parse matmul_src).Itf_lang.Parser.nest
+
+(* ------------------------------------------------------------------ *)
+(* Anytime budget on Engine.search                                     *)
+(* ------------------------------------------------------------------ *)
+
+let get = function Some o -> o | None -> Alcotest.fail "search returned None"
+
+let test_budget_zero_deadline () =
+  (* Even a 0-second deadline yields the identity outcome, degraded. *)
+  let o =
+    get
+      (Engine.search ~steps:2 ~domains:1
+         ~budget:{ Engine.deadline_s = Some 0.; max_nodes = None }
+         (matmul_nest ()) (obj ()))
+  in
+  check_string "degraded" "degraded" (Engine.completion_label o.Engine.completion);
+  Alcotest.check seq_testable "identity sequence" [] o.Engine.sequence;
+  match o.Engine.completion with
+  | Engine.Degraded { cut } ->
+    check_string "cut at the first step" "step1:deadline" cut
+  | Engine.Complete -> Alcotest.fail "expected Degraded"
+
+let test_budget_nodes_deterministic () =
+  (* Two runs cut by the same node budget return bit-identical outcomes. *)
+  let run () =
+    get
+      (Engine.search ~steps:3 ~domains:1 ~tier0:tier0_spec
+         ~budget:{ Engine.deadline_s = None; max_nodes = Some 40 }
+         (matmul_nest ()) (obj ()))
+  in
+  let a = run () and b = run () in
+  check_string "both degraded" "degraded"
+    (Engine.completion_label a.Engine.completion);
+  check_bool "same cut" true (a.Engine.completion = b.Engine.completion);
+  Alcotest.check seq_testable "same winner" a.Engine.sequence b.Engine.sequence;
+  check_bool "same score" true (Float.equal a.Engine.score b.Engine.score);
+  check_int "same exploration" a.Engine.stats.Itf_opt.Stats.nodes_explored
+    b.Engine.stats.Itf_opt.Stats.nodes_explored
+
+let test_budget_never_trips_identical () =
+  (* A budget that never expires leaves the outcome bit-identical to an
+     unbudgeted search. *)
+  let free =
+    get (Engine.search ~steps:2 ~domains:1 ~tier0:tier0_spec (matmul_nest ()) (obj ()))
+  in
+  let budgeted =
+    get
+      (Engine.search ~steps:2 ~domains:1 ~tier0:tier0_spec
+         ~budget:{ Engine.deadline_s = Some 3600.; max_nodes = Some max_int }
+         (matmul_nest ()) (obj ()))
+  in
+  check_string "complete" "ok" (Engine.completion_label budgeted.Engine.completion);
+  Alcotest.check seq_testable "same winner" free.Engine.sequence
+    budgeted.Engine.sequence;
+  check_bool "same score" true (Float.equal free.Engine.score budgeted.Engine.score);
+  check_int "same exploration" free.Engine.stats.Itf_opt.Stats.nodes_explored
+    budgeted.Engine.stats.Itf_opt.Stats.nodes_explored
+
+(* ------------------------------------------------------------------ *)
+(* Tiered cache-hit regression pin                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tiered_hits_not_collapsed () =
+  (* The tier-0 screen must not starve the cross-step cache: on matmul —
+     the bench configuration, n = 16, steps = 3 — the tiered search sees
+     at least the untiered search's hits. *)
+  let params = [ ("n", 16) ] in
+  let obj () = Search.cache_misses ~params () in
+  let tier0_spec =
+    Costmodel.Locality
+      {
+        config =
+          { Itf_machine.Cache.size_bytes = 8192; line_bytes = 64; assoc = 2 };
+        elem_bytes = 8;
+        params;
+      }
+  in
+  let hits (o : Engine.outcome) =
+    o.Engine.stats.Itf_opt.Stats.legality_cache_hits
+    + o.Engine.stats.Itf_opt.Stats.score_cache_hits
+  in
+  let unt =
+    get (Engine.search ~steps:3 ~domains:1 (matmul_nest ()) (obj ()))
+  in
+  let tiered =
+    get
+      (Engine.search ~steps:3 ~domains:1 ~tier0:tier0_spec (matmul_nest ())
+         (obj ()))
+  in
+  check_bool
+    (Printf.sprintf "tiered hits (%d) >= untiered hits (%d)" (hits tiered)
+       (hits unt))
+    true
+    (hits tiered >= hits unt);
+  Alcotest.check seq_testable "same winner" unt.Engine.sequence
+    tiered.Engine.sequence
+
+(* ------------------------------------------------------------------ *)
+(* Serve protocol                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let req ?(id = Json.Int 1) ?deadline_ms ?max_nodes ?(params = [ ("n", Json.Int 12) ])
+    ?(steps = 2) nest =
+  Json.to_string
+    (Json.Obj
+       ([
+          ("id", id);
+          ("nest", Json.String nest);
+          ("params", Json.Obj params);
+          ("steps", Json.Int steps);
+        ]
+       @ (match deadline_ms with
+         | None -> []
+         | Some ms -> [ ("deadline_ms", Json.Float ms) ])
+       @
+       match max_nodes with
+       | None -> []
+       | Some n -> [ ("max_nodes", Json.Int n) ]))
+
+let field name json =
+  match Json.member name json with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "response lacks %S: %s" name (Json.to_string json))
+
+let status json =
+  match Json.to_str (field "status" json) with
+  | Some s -> s
+  | None -> Alcotest.fail "status not a string"
+
+let test_serve_roundtrip () =
+  let server = Serve.create ~domains:1 () in
+  let resp, stop = Serve.handle_line server (req ~id:(Json.String "r1") matmul_src) in
+  check_bool "no shutdown" false stop;
+  check_string "ok" "ok" (status resp);
+  check_string "id echoed" "\"r1\"" (Json.to_string (field "id" resp));
+  check_bool "score present" true (Json.to_float (field "score" resp) <> None);
+  check_bool "sequence present" true (Json.to_str (field "sequence" resp) <> None);
+  check_bool "not cached" true (field "cached" resp = Json.Bool false)
+
+let test_serve_warm_cache () =
+  let server = Serve.create ~domains:1 () in
+  let first, _ = Serve.handle_line server (req matmul_src) in
+  let second, _ = Serve.handle_line server (req ~id:(Json.Int 2) matmul_src) in
+  check_string "first ok" "ok" (status first);
+  check_string "second ok" "ok" (status second);
+  check_bool "first is fresh" true (field "cached" first = Json.Bool false);
+  check_bool "second is cached" true (field "cached" second = Json.Bool true);
+  check_bool "same score" true
+    (Json.equal (field "score" first) (field "score" second));
+  check_bool "same sequence" true
+    (Json.equal (field "sequence" first) (field "sequence" second))
+
+let test_serve_degraded_not_cached () =
+  (* A node budget (deterministic, unlike a wall-clock deadline) cuts the
+     search: the response is degraded with a cut checkpoint, identically
+     on repeat — degraded answers never enter the response cache. *)
+  let server = Serve.create ~domains:1 () in
+  let a, _ = Serve.handle_line server (req ~max_nodes:5 matmul_src) in
+  let b, _ = Serve.handle_line server (req ~id:(Json.Int 2) ~max_nodes:5 matmul_src) in
+  check_string "degraded" "degraded" (status a);
+  check_bool "cut names checkpoint" true (Json.to_str (field "cut" a) <> None);
+  check_string "still degraded on repeat" "degraded" (status b);
+  check_bool "degraded repeat is not served from cache" true
+    (field "cached" b = Json.Bool false);
+  check_bool "deterministic cut" true (Json.equal (field "cut" a) (field "cut" b));
+  check_bool "deterministic score" true
+    (Json.equal (field "score" a) (field "score" b))
+
+let test_serve_errors_not_crashes () =
+  let server = Serve.create ~domains:1 () in
+  let malformed, stop = Serve.handle_line server "{not json" in
+  check_bool "no shutdown" false stop;
+  check_string "malformed JSON is an error response" "error" (status malformed);
+  let missing, _ = Serve.handle_line server "{\"id\": 7}" in
+  check_string "missing nest is an error" "error" (status missing);
+  check_string "id still echoed" "7" (Json.to_string (field "id" missing));
+  let bad_nest, _ = Serve.handle_line server (req "do i = 1, n\n  oops(") in
+  check_string "unparseable nest is an error" "error" (status bad_nest);
+  let bad_field, _ =
+    Serve.handle_line server
+      "{\"nest\": \"x\", \"steps\": \"two\"}"
+  in
+  check_string "bad field type is an error" "error" (status bad_field);
+  let not_obj, _ = Serve.handle_line server "[1, 2]" in
+  check_string "non-object request is an error" "error" (status not_obj)
+
+let test_serve_lru_eviction () =
+  let server = Serve.create ~domains:1 ~max_cache:1 () in
+  let gauge name =
+    Itf_obs.Metrics.gauge_value (Itf_obs.Metrics.gauge (Serve.metrics server) name)
+  in
+  (* Two distinct fingerprints through a 1-entry cache: the second insert
+     evicts the first, so re-asking the first misses again. *)
+  ignore (Serve.handle_line server (req matmul_src));
+  ignore (Serve.handle_line server (req ~steps:1 ~id:(Json.Int 2) matmul_src));
+  check_bool "eviction counted" true (gauge "serve.cache.evictions" >= 1.);
+  check_bool "cache stays at capacity" true (gauge "serve.cache.size" = 1.);
+  let again, _ = Serve.handle_line server (req ~id:(Json.Int 3) matmul_src) in
+  check_bool "evicted entry recomputed" true (field "cached" again = Json.Bool false)
+
+let test_serve_shutdown () =
+  let server = Serve.create ~domains:1 () in
+  let resp, stop = Serve.handle_line server "{\"op\": \"shutdown\", \"id\": 9}" in
+  check_bool "stop requested" true stop;
+  check_string "ok" "ok" (status resp);
+  check_bool "shutdown acknowledged" true (field "shutdown" resp = Json.Bool true)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "budget",
+        [
+          Alcotest.test_case "zero deadline yields degraded identity" `Quick
+            test_budget_zero_deadline;
+          Alcotest.test_case "node-budget cut is deterministic" `Quick
+            test_budget_nodes_deterministic;
+          Alcotest.test_case "untripped budget is bit-identical" `Quick
+            test_budget_never_trips_identical;
+        ] );
+      ( "tiered-regression",
+        [
+          Alcotest.test_case "tiered cache hits not collapsed (matmul)" `Quick
+            test_tiered_hits_not_collapsed;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "request/response roundtrip" `Quick
+            test_serve_roundtrip;
+          Alcotest.test_case "second identical request is cached" `Quick
+            test_serve_warm_cache;
+          Alcotest.test_case "budget cut: degraded, deterministic, uncached"
+            `Quick test_serve_degraded_not_cached;
+          Alcotest.test_case "malformed input yields error responses" `Quick
+            test_serve_errors_not_crashes;
+          Alcotest.test_case "LRU response cache evicts at capacity" `Quick
+            test_serve_lru_eviction;
+          Alcotest.test_case "shutdown request stops the loop" `Quick
+            test_serve_shutdown;
+        ] );
+    ]
