@@ -800,11 +800,11 @@ let search_bench ?baseline () =
       | Error e -> failwith ("--baseline " ^ path ^ ": " ^ e)
       | Ok j ->
         (match Json.member "schema" j with
-        | Some (Json.Int 4) | Some (Json.Int 5) -> ()
+        | Some (Json.Int 4) | Some (Json.Int 5) | Some (Json.Int 6) -> ()
         | _ ->
           failwith
             ("--baseline " ^ path
-           ^ ": expected schema 4 or 5 BENCH_search.json"));
+           ^ ": expected schema 4, 5 or 6 BENCH_search.json"));
         Some
           (Option.value ~default:[]
              (Option.bind (Json.member "cases" j) Json.to_list)))
@@ -875,9 +875,30 @@ let search_bench ?baseline () =
               Engine.search ~steps ~domains:1 ~tier0:spec nest
                 (mk_obj ~memo:false))
         in
-        match (old_, unt_, seq_, par_, ni_, cunt_, cseq_) with
+        (* Tracer overhead in the regime serve runs: a fresh {e active}
+           tracer per request (capture always happens when the sink is
+           configured — head sampling only decides retention, so the
+           sampling draw is charged here too). Compared against the
+           null-tracer warm tiered run above; the gate below keeps the
+           capture path honest. The last run's span forest feeds the
+           BENCH_profile.txt artifact. *)
+        let last_roots = ref [] in
+        let trc_, trc_t =
+          time_min (fun () ->
+              let tracer = Itf_obs.Tracer.create () in
+              ignore
+                (Itf_obs.Tracer.head_keep ~sample_rate:0.5 ~fingerprint:name);
+              let r =
+                Engine.search ~steps ~domains:1 ~tier0:spec ~tracer nest
+                  objective
+              in
+              last_roots := Itf_obs.Tracer.roots tracer;
+              r)
+        in
+        let profile_rows = Itf_obs.Profile.of_spans !last_roots in
+        match (old_, unt_, seq_, par_, ni_, cunt_, cseq_, trc_) with
         | Some old_, Some unt_, Some seq_, Some par_, Some ni_, Some cunt_,
-          Some cseq_ ->
+          Some cseq_, Some trc_ ->
           let agree (a : Engine.outcome) (b : Engine.outcome) =
             Itf_core.Sequence.compare a.Engine.canonical b.Engine.canonical = 0
             && a.Engine.score = b.Engine.score
@@ -896,6 +917,24 @@ let search_bench ?baseline () =
             failwith
               (name
              ^ ": memoized and unmemoized searches disagree on the winner");
+          if not (agree seq_ trc_) then
+            failwith
+              (name ^ ": traced and untraced searches disagree on the winner");
+          let trace_overhead = trc_t /. seq_t in
+          (* The tentpole gate: an active sampled tracer must cost <= 1.1x
+             the null-sink wall time. Enforced on matmul (the longest
+             case); 5ms absolute floor for the same scheduler-jitter
+             reason as the gates above. *)
+          if
+            name = "matmul/locality"
+            && trace_overhead > 1.1
+            && trc_t -. seq_t > 0.005
+          then
+            failwith
+              (Printf.sprintf
+                 "%s: active tracer costs %.2fx the null-sink search (limit \
+                  1.1x beyond the 5ms floor)"
+                 name trace_overhead);
           let no_intern_same_winner = agree seq_ ni_ in
           if not no_intern_same_winner then
             failwith
@@ -1008,6 +1047,20 @@ let search_bench ?baseline () =
             "%-18s compute (no sim memo): untiered %.3fs vs tiered seq %.3fs \
              (tiered/untiered %.2f; warm %.2f)@."
             "" cunt_t cseq_t compute_vs_untiered tiered_vs_untiered;
+          Format.printf
+            "%-18s traced %.3fs (tracer overhead %.2fx; %d profile rows)@."
+            "" trc_t trace_overhead (List.length profile_rows);
+          if name = "matmul/locality" then begin
+            let oc = open_out "BENCH_profile.txt" in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf
+              "self-time profile of one traced tiered matmul/locality search \
+               (steps %d, domains 1)@.%a@."
+              steps Itf_obs.Profile.pp
+              (Itf_obs.Profile.top 20 profile_rows);
+            Format.pp_print_flush ppf ();
+            close_out oc
+          end;
           Json.Obj
             [
               ("name", Json.String name);
@@ -1033,6 +1086,8 @@ let search_bench ?baseline () =
               ("compute_untiered_time_s", Json.Float cunt_t);
               ("compute_seq_time_s", Json.Float cseq_t);
               ("compute_vs_untiered", Json.Float compute_vs_untiered);
+              ("traced_seq_time_s", Json.Float trc_t);
+              ("trace_overhead", Json.Float trace_overhead);
               ("same_winner", Json.Bool same_winner);
               ("no_intern_time_s", Json.Float ni_t);
               ("no_intern_same_winner", Json.Bool no_intern_same_winner);
@@ -1063,7 +1118,7 @@ let search_bench ?baseline () =
           ])
       (Hashcons.stats ())
   in
-  write_bench_json ~schema:5 "BENCH_search.json"
+  write_bench_json ~schema:6 "BENCH_search.json"
     [
       ("domains_par", Json.Int par_domains);
       ("cases", Json.List jsons);

@@ -849,7 +849,7 @@ let fuzz_cmd =
 (* ------------------------------------------------------------------ *)
 
 let report_cmd =
-  let run trace metrics counters =
+  let run trace metrics counters profile top =
     if trace = None && metrics = None then begin
       Printf.eprintf
         "error: nothing to report (give a trace file and/or --metrics)\n";
@@ -865,12 +865,22 @@ let report_cmd =
           Printf.eprintf "error: %s\n" e;
           rc := 1
         | lines -> (
-          (match Itf_obs.Report.of_lines lines with
-          | Error e ->
-            Printf.eprintf "error: %s: %s\n" path e;
-            rc := 1
-          | Ok rows ->
-            Format.printf "== spans (%s) ==@.%a" path Itf_obs.Report.pp rows);
+          (if profile then
+             match Itf_obs.Profile.of_lines lines with
+             | Error e ->
+               Printf.eprintf "error: %s: %s\n" path e;
+               rc := 1
+             | Ok rows ->
+               Format.printf "== profile (%s, top %d by self time) ==@.%a" path
+                 top Itf_obs.Profile.pp
+                 (Itf_obs.Profile.top top rows)
+           else
+             match Itf_obs.Report.of_lines lines with
+             | Error e ->
+               Printf.eprintf "error: %s: %s\n" path e;
+               rc := 1
+             | Ok rows ->
+               Format.printf "== spans (%s) ==@.%a" path Itf_obs.Report.pp rows);
           if counters && !rc = 0 then
             match Itf_obs.Report.counters lines with
             | Error e ->
@@ -915,22 +925,39 @@ let report_cmd =
       & info [ "counters" ]
           ~doc:"Also sum the integer span attributes across the trace.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Render the trace as a flamegraph table: per span name, call \
+             count, total time and self time (total minus children), sorted \
+             by self time — where the wall clock actually went.")
+  in
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Number of profile rows to print (with --profile).")
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:
          "Summarize observability artifacts: per-span time aggregates from a \
-          trace, and/or a metrics dump rendered as a table.")
-    Term.(const run $ trace $ metrics $ counters)
+          trace, a self-time profile (--profile), and/or a metrics dump \
+          rendered as a table.")
+    Term.(const run $ trace $ metrics $ counters $ profile $ top)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket domains deadline_ms max_cache metrics_out trace_out =
+  let run socket domains deadline_ms max_cache metrics_out trace_out slow_ms
+      sample_rate =
     let server =
       Itf_serve.Serve.create ?domains ?default_deadline_ms:deadline_ms
-        ~max_cache ?metrics_out ?trace_out ()
+        ~max_cache ?metrics_out ?trace_out ~slow_ms ~sample_rate ()
     in
     Itf_serve.Serve.run ?socket server;
     0
@@ -984,7 +1011,29 @@ let serve_cmd =
       value
       & opt (some string) None
       & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:"Rewrite FILE after every request with the span trace as JSON lines.")
+          ~doc:
+            "Rewrite FILE after every request with the retained span traces \
+             as JSON lines (see --sample-rate).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt float Itf_serve.Serve.default_slow_ms
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request threshold: a request at or above MS of wall time \
+             (or any non-ok request) enters the slow log reported by \
+             {\"op\": \"status\"} and always retains its span trace.")
+  in
+  let sample_rate =
+    Arg.(
+      value & opt float 1.
+      & info [ "sample-rate" ] ~docv:"R"
+          ~doc:
+            "Head-sampling rate for span-trace retention, in [0,1]. The \
+             keep/drop decision is a deterministic hash of the request \
+             fingerprint, so reruns retain identical traces; slow and \
+             non-ok requests are always retained regardless of R.")
   in
   Cmd.v
     (Cmd.info "serve"
@@ -995,7 +1044,7 @@ let serve_cmd =
           memo tables, so repeated searches are answered warm.")
     Term.(
       const run $ socket $ domains $ deadline_ms $ max_cache $ metrics_out
-      $ trace_out)
+      $ trace_out $ slow_ms $ sample_rate)
 
 let () =
   let doc = "iteration-reordering loop transformation framework (PLDI'92 reproduction)" in

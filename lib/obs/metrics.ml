@@ -1,5 +1,14 @@
-type histo = { buckets : float array; counts : int Atomic.t array }
-(* [counts] has one slot per bucket bound plus an overflow slot. *)
+type histo = {
+  buckets : float array;
+  counts : int Atomic.t array;
+  sum_milli : int Atomic.t;
+}
+(* [counts] has one slot per bucket bound plus an overflow slot.
+   [sum_milli] is the sum of observed values in fixed-point thousandths:
+   integer adds commute, so parallel and sequential runs of the same work
+   still dump identical registries (a float sum would not — accumulation
+   order does not commute). Each observation is rounded to 1/1000 of a
+   unit; observe in microseconds if that matters. *)
 
 type instrument =
   | Counter of int Atomic.t
@@ -55,6 +64,31 @@ let gauge t ?labels name =
 let default_buckets =
   [| 1.; 10.; 100.; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9 |]
 
+(* A 1-2-5 log-linear series: [lo, 2lo, 5lo, 10lo, 20lo, ...] up to the
+   first bound >= [hi]. Bounds are computed as mantissa * decade so the
+   values are exact decimal floats, not products of rounding drift. *)
+let log_linear ~lo ~hi =
+  if not (lo > 0. && hi > lo) then
+    invalid_arg "Metrics.log_linear: need 0 < lo < hi";
+  let out = ref [] in
+  let decade = ref lo in
+  let stop = ref false in
+  while not !stop do
+    List.iter
+      (fun m ->
+        if not !stop then begin
+          let b = m *. !decade in
+          out := b :: !out;
+          if b >= hi then stop := true
+        end)
+      [ 1.; 2.; 5. ];
+    decade := !decade *. 10.
+  done;
+  Array.of_list (List.rev !out)
+
+(* Duration buckets in microseconds: 1us .. 100s. *)
+let duration_buckets = log_linear ~lo:1. ~hi:1e8
+
 let histogram t ?labels ?(buckets = default_buckets) name =
   match
     find_or_create t ?labels name (fun () ->
@@ -62,6 +96,7 @@ let histogram t ?labels ?(buckets = default_buckets) name =
           {
             buckets = Array.copy buckets;
             counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+            sum_milli = Atomic.make 0;
           })
   with
   | Histogram h -> h
@@ -82,7 +117,42 @@ let gauge_value g = Atomic.get g
 let observe h x =
   let n = Array.length h.buckets in
   let rec go i = if i >= n then n else if x <= h.buckets.(i) then i else go (i + 1) in
-  Atomic.incr h.counts.(go 0)
+  Atomic.incr h.counts.(go 0);
+  ignore (Atomic.fetch_and_add h.sum_milli (int_of_float (Float.round (x *. 1000.))))
+
+let histogram_count h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
+let histogram_sum h = float_of_int (Atomic.get h.sum_milli) /. 1000.
+
+(* Quantile estimate from bucket counts alone — a pure function of
+   integers plus [q], so it is identical across runs that made the same
+   observations. Linear interpolation inside the holding bucket (lower
+   edge 0 for the first bucket); the overflow bucket has no finite upper
+   edge, so quantiles landing there saturate at the last bound. *)
+let quantile_of_counts ~buckets ~counts q =
+  let n = Array.length buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 || n = 0 || Float.is_nan q then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let target = q *. float_of_int total in
+    let rec go i cum =
+      if i >= n then Some buckets.(n - 1)
+      else
+        let cum' = cum + counts.(i) in
+        if counts.(i) > 0 && float_of_int cum' >= target then
+          let lo = if i = 0 then 0. else buckets.(i - 1) in
+          let hi = buckets.(i) in
+          let frac = (target -. float_of_int cum) /. float_of_int counts.(i) in
+          Some (lo +. (Float.max 0. frac *. (hi -. lo)))
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
+let quantile h q =
+  quantile_of_counts ~buckets:h.buckets ~counts:(Array.map Atomic.get h.counts) q
 
 let entries t =
   Mutex.lock t.mutex;
@@ -97,6 +167,11 @@ let entries t =
       if c <> 0 then c else compare a.labels b.labels)
     xs
 
+let render_buckets buckets =
+  Array.to_list buckets
+  |> List.map (Printf.sprintf "%g")
+  |> String.concat "; "
+
 let merge_into ~into src =
   List.iter
     (fun (key, i) ->
@@ -110,8 +185,14 @@ let merge_into ~into src =
         in
         if dst.buckets <> h.buckets then
           invalid_arg
-            ("Metrics.merge_into: histogram bucket mismatch for " ^ key.name);
-        Array.iteri (fun k c -> add dst.counts.(k) (Atomic.get c)) h.counts)
+            (Printf.sprintf
+               "Metrics.merge_into: histogram bucket mismatch for %s: \
+                destination has [%s], source has [%s]"
+               key.name
+               (render_buckets dst.buckets)
+               (render_buckets h.buckets));
+        Array.iteri (fun k c -> add dst.counts.(k) (Atomic.get c)) h.counts;
+        ignore (Atomic.fetch_and_add dst.sum_milli (Atomic.get h.sum_milli)))
     (entries src)
 
 let dump t =
@@ -134,6 +215,8 @@ let dump t =
           ( "counts",
             Json.List
               (Array.to_list (Array.map (fun c -> Json.Int (Atomic.get c)) h.counts)) );
+          ("count", Json.Int (histogram_count h));
+          ("sum", Json.Float (histogram_sum h));
         ]
     in
     Json.Obj (base @ payload)
@@ -143,6 +226,91 @@ let dump t =
       ("schema", Json.Int 1);
       ("metrics", Json.List (List.map metric (entries t)));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prom_name s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      then c
+      else '_')
+    s
+
+let prom_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_escape v))
+           labels)
+    ^ "}"
+
+let prom_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let dump_prometheus t =
+  let b = Buffer.create 1024 in
+  let last_typed = ref "" in
+  List.iter
+    (fun (key, i) ->
+      let name = prom_name key.name in
+      if !last_typed <> name then begin
+        Buffer.add_string b
+          (Printf.sprintf "# TYPE %s %s\n" name (kind_name i));
+        last_typed := name
+      end;
+      match i with
+      | Counter c ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %d\n" name (prom_labels key.labels)
+             (Atomic.get c))
+      | Gauge g ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%s %s\n" name (prom_labels key.labels)
+             (prom_float (Atomic.get g)))
+      | Histogram h ->
+        let cum = ref 0 in
+        Array.iteri
+          (fun k c ->
+            cum := !cum + Atomic.get c;
+            let le =
+              if k < Array.length h.buckets then prom_float h.buckets.(k)
+              else "+Inf"
+            in
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket%s %d\n" name
+                 (prom_labels (key.labels @ [ ("le", le) ]))
+                 !cum))
+          h.counts;
+        Buffer.add_string b
+          (Printf.sprintf "%s_sum%s %s\n" name (prom_labels key.labels)
+             (prom_float (histogram_sum h)));
+        Buffer.add_string b
+          (Printf.sprintf "%s_count%s %d\n" name (prom_labels key.labels)
+             (histogram_count h)))
+    (entries t);
+  Buffer.contents b
 
 let pp ppf t =
   List.iter
@@ -160,6 +328,16 @@ let pp ppf t =
         Format.fprintf ppf "%s%s %d@." key.name labels (Atomic.get c)
       | Gauge g -> Format.fprintf ppf "%s%s %g@." key.name labels (Atomic.get g)
       | Histogram h ->
-        let total = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts in
-        Format.fprintf ppf "%s%s count=%d@." key.name labels total)
+        let total = histogram_count h in
+        let q p =
+          match quantile h p with None -> Float.nan | Some v -> v
+        in
+        if total = 0 then
+          Format.fprintf ppf "%s%s count=0@." key.name labels
+        else
+          Format.fprintf ppf
+            "%s%s count=%d sum=%g mean=%g p50=%g p90=%g p99=%g@." key.name
+            labels total (histogram_sum h)
+            (histogram_sum h /. float_of_int total)
+            (q 0.5) (q 0.9) (q 0.99))
     (entries t)

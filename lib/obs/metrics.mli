@@ -7,14 +7,17 @@
     into shared totals.
 
     {b Multicore}: instrument {e updates} are atomic and commutative
-    (counter adds, histogram bucket increments), so totals are
-    deterministic regardless of domain scheduling; handle {e creation}
-    takes a registry lock and is safe from any domain. Gauges are
-    last-write-wins and should be set from one domain.
+    (counter adds, histogram bucket increments, the fixed-point histogram
+    sum), so totals are deterministic regardless of domain scheduling;
+    handle {e creation} takes a registry lock and is safe from any domain.
+    Gauges are last-write-wins and should be set from one domain.
 
-    {b Determinism}: a histogram stores bucket counts only (no float sum),
-    precisely so that parallel and sequential runs of the same work dump
-    identical registries — float accumulation order would not commute. *)
+    {b Determinism}: a histogram stores integer bucket counts plus an
+    integer fixed-point sum (thousandths of a unit) — never a float
+    accumulator — precisely so that parallel and sequential runs of the
+    same work dump identical registries: integer addition commutes, float
+    accumulation order does not. Quantiles ({!quantile}) are likewise a
+    pure function of the bucket counts. *)
 
 type t
 
@@ -26,6 +29,17 @@ type histogram
 
 val counter : t -> ?labels:(string * string) list -> string -> counter
 val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val log_linear : lo:float -> hi:float -> float array
+(** A 1-2-5 log-linear bucket series: [lo, 2lo, 5lo, 10lo, 20lo, ...] up
+    to the first bound [>= hi]. Three buckets per decade keeps quantile
+    interpolation error within ~2.5x anywhere on the range.
+    @raise Invalid_argument unless [0 < lo < hi]. *)
+
+val duration_buckets : float array
+(** [log_linear ~lo:1. ~hi:1e8] — duration buckets in {e microseconds},
+    1us to 100s. The shared layout for every duration histogram, so
+    registries merge without bucket mismatches. *)
 
 val histogram :
   t -> ?labels:(string * string) list -> ?buckets:float array -> string -> histogram
@@ -45,15 +59,51 @@ val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
 (** Increment the first bucket whose upper bound is [>= x] (the overflow
-    bucket if none). *)
+    bucket if none) and add [x] — rounded to a thousandth — to the
+    fixed-point sum. *)
+
+val histogram_count : histogram -> int
+(** Total number of observations (the sum of all bucket counts). *)
+
+val histogram_sum : histogram -> float
+(** Sum of observed values, at 1/1000 resolution per observation. *)
+
+val quantile : histogram -> float -> float option
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1], clamped)
+    from the bucket counts: linear interpolation inside the bucket holding
+    the target rank (lower edge [0] for the first bucket); a rank landing
+    in the overflow bucket saturates at the last finite bound. [None] on
+    an empty histogram. Monotone in [q], and deterministic — two runs
+    making the same observations report identical quantiles. *)
+
+val quantile_of_counts :
+  buckets:float array -> counts:int array -> float -> float option
+(** The same estimator as a pure function of a bucket layout and count
+    array ([counts] carries the trailing overflow slot) — for consumers
+    reading a serialized {!dump} rather than a live registry. *)
 
 val merge_into : into:t -> t -> unit
-(** Fold a registry into another: counters and histogram buckets add,
-    gauges overwrite. Histograms must have matching buckets. *)
+(** Fold a registry into another: counters, histogram buckets and
+    histogram sums add, gauges overwrite.
+    @raise Invalid_argument on a histogram bucket-layout mismatch; the
+    message names the metric and both bucket arrays. *)
 
 val dump : t -> Json.t
 (** Deterministic (sorted by name, then labels) machine-readable dump:
-    [{"schema": 1, "metrics": [{"name", "labels", "type", ...}, ...]}]. *)
+    [{"schema": 1, "metrics": [{"name", "labels", "type", ...}, ...]}].
+    Histogram entries carry ["buckets"], ["counts"], ["count"] and
+    ["sum"]. *)
+
+val dump_prometheus : t -> string
+(** The registry in the Prometheus text exposition format: one
+    [# TYPE name kind] comment per metric name, [name{labels} value]
+    sample lines, and for histograms the conventional cumulative
+    [name_bucket{...,le="bound"}] series ending at [le="+Inf"] plus
+    [name_sum]/[name_count]. Metric and label names are sanitized to
+    [[a-zA-Z0-9_:]] (so ["serve.requests"] exposes as
+    [serve_requests]); label values are escaped. Sorted and
+    deterministic like {!dump}. *)
 
 val pp : Format.formatter -> t -> unit
-(** One instrument per line, sorted: [name{k=v,...} value]. *)
+(** One instrument per line, sorted: [name{k=v,...} value]; histograms
+    render [count], [sum], [mean] and the p50/p90/p99 quantiles. *)

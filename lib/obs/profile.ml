@@ -1,0 +1,72 @@
+type row = { name : string; count : int; total_s : float; self_s : float }
+
+let by_self a b =
+  let c = Float.compare b.self_s a.self_s in
+  if c <> 0 then c else String.compare a.name b.name
+
+let of_spans spans =
+  let agg = Hashtbl.create 16 in
+  let rec go (s : Tracer.span) =
+    let child_dur =
+      List.fold_left (fun acc c -> acc +. c.Tracer.dur_s) 0. s.Tracer.children
+    in
+    let row =
+      match Hashtbl.find_opt agg s.Tracer.name with
+      | Some r -> r
+      | None -> { name = s.Tracer.name; count = 0; total_s = 0.; self_s = 0. }
+    in
+    Hashtbl.replace agg s.Tracer.name
+      {
+        row with
+        count = row.count + 1;
+        total_s = row.total_s +. s.Tracer.dur_s;
+        self_s = row.self_s +. Float.max 0. (s.Tracer.dur_s -. child_dur);
+      };
+    List.iter go s.Tracer.children
+  in
+  List.iter go spans;
+  List.sort by_self (Hashtbl.fold (fun _ r acc -> r :: acc) agg [])
+
+let of_lines lines =
+  match Report.of_lines lines with
+  | Error _ as e -> e
+  | Ok rows ->
+    Ok
+      (List.sort by_self
+         (List.map
+            (fun (r : Report.row) ->
+              {
+                name = r.Report.name;
+                count = r.Report.count;
+                total_s = r.Report.total_s;
+                self_s = r.Report.self_s;
+              })
+            rows))
+
+let top n rows = List.filteri (fun k _ -> k < n) rows
+
+let to_json rows =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("name", Json.String r.name);
+             ("count", Json.Int r.count);
+             ("total_us", Json.Float (r.total_s *. 1e6));
+             ("self_us", Json.Float (r.self_s *. 1e6));
+           ])
+       rows)
+
+let pp ppf rows =
+  let grand_self =
+    List.fold_left (fun acc r -> acc +. r.self_s) 0. rows
+  in
+  Format.fprintf ppf "%-28s %8s %12s %12s %7s@." "span" "count" "total_s"
+    "self_s" "self%";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-28s %8d %12.6f %12.6f %6.1f%%@." r.name r.count
+        r.total_s r.self_s
+        (if grand_self > 0. then 100. *. r.self_s /. grand_self else 0.))
+    rows

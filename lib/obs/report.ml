@@ -167,14 +167,54 @@ let pp_metrics_file ppf doc =
             (Option.value ~default:0.
                (Option.bind (Json.member "value" m) Json.to_float))
         | Some "histogram" ->
-          let total =
+          let counts =
             match Option.bind (Json.member "counts" m) Json.to_list with
             | Some cs ->
-              List.fold_left
-                (fun acc c -> acc + Option.value ~default:0 (Json.to_int c))
-                0 cs
+              Some
+                (Array.of_list
+                   (List.map
+                      (fun c -> Option.value ~default:0 (Json.to_int c))
+                      cs))
+            | None -> None
+          in
+          let buckets =
+            match Option.bind (Json.member "buckets" m) Json.to_list with
+            | Some bs ->
+              Some
+                (Array.of_list
+                   (List.map
+                      (fun b -> Option.value ~default:0. (Json.to_float b))
+                      bs))
+            | None -> None
+          in
+          let total =
+            match counts with
+            | Some cs -> Array.fold_left ( + ) 0 cs
             | None -> 0
           in
-          Format.fprintf ppf "%s%s count=%d@." name labels total
+          (* [sum] is absent from pre-quantile dumps: render "-" rather
+             than a fake zero, but quantiles need only the counts, so old
+             files still get them. *)
+          let sum = Option.bind (Json.member "sum" m) Json.to_float in
+          let fmt_opt = function
+            | Some x -> Printf.sprintf "%g" x
+            | None -> "-"
+          in
+          let q p =
+            match (buckets, counts) with
+            | Some buckets, Some counts ->
+              Metrics.quantile_of_counts ~buckets ~counts p
+            | _ -> None
+          in
+          if total = 0 then Format.fprintf ppf "%s%s count=0@." name labels
+          else
+            Format.fprintf ppf
+              "%s%s count=%d sum=%s mean=%s p50=%s p90=%s p99=%s@." name
+              labels total (fmt_opt sum)
+              (fmt_opt
+                 (Option.map (fun s -> s /. float_of_int total) sum))
+              (fmt_opt (q 0.5))
+              (fmt_opt (q 0.9))
+              (fmt_opt (q 0.99))
         | _ -> Format.fprintf ppf "%s%s ?@." name labels)
       ms

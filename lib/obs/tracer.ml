@@ -96,6 +96,45 @@ let roots = function
   | Active st -> List.rev st.roots_rev
 
 (* ------------------------------------------------------------------ *)
+(* Head sampling                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a, 64-bit, spelled out rather than [Hashtbl.hash] so the
+   keep/drop decision is a documented, stable function of the fingerprint
+   bytes — reruns (and other implementations) sample identically. *)
+let fnv1a64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let head_keep ~sample_rate ~fingerprint =
+  if sample_rate >= 1. then true
+  else if sample_rate <= 0. then false
+  else
+    (* FNV-1a has weak avalanche on the trailing bytes (the final multiply
+       moves a last-byte delta only into bits ~0-9 and ~40-49), so similar
+       fingerprints would draw nearly identical values; the murmur3
+       finalizer below achieves full avalanche before we take 32 bits as a
+       uniform draw in [0, 1). Keep iff the draw is below the rate; the
+       set of kept fingerprints at rate r is a subset of the set kept at
+       any r' >= r. *)
+    let mix h =
+      let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+      let h = Int64.mul h 0xff51afd7ed558ccdL in
+      let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+      let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+      Int64.logxor h (Int64.shift_right_logical h 33)
+    in
+    let draw =
+      Int64.to_float (Int64.logand (mix (fnv1a64 fingerprint)) 0xFFFFFFFFL)
+      /. 4294967296.0
+    in
+    draw < sample_rate
+
+(* ------------------------------------------------------------------ *)
 (* Ambient tracer (domain-local)                                       *)
 (* ------------------------------------------------------------------ *)
 

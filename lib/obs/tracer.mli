@@ -66,6 +66,21 @@ val join : t -> t list -> unit
 val roots : t -> span list
 (** Completed top-level spans, in execution order. Empty for {!null}. *)
 
+(** {1 Head sampling} *)
+
+val head_keep : sample_rate:float -> fingerprint:string -> bool
+(** The head-sampling decision for one unit of work (a serve request):
+    keep its span tree iff a uniform draw derived from [fingerprint]
+    (FNV-1a over the bytes, finalized with a full-avalanche mixer —
+    deterministic across runs and processes, so reruns sample
+    identically) falls below [sample_rate]. [>= 1.] keeps
+    everything, [<= 0.] keeps nothing, and the kept set at rate [r] is a
+    subset of the kept set at any higher rate. This decides {e retention}
+    only — capture is unchanged, so sampling never alters the span trees
+    that are kept (parallel == sequential determinism included). Callers
+    wanting tail-based keep (slow/degraded/error requests always
+    retained) OR this decision with their own predicate. *)
+
 (** {1 Ambient tracer} *)
 
 val ambient : unit -> t

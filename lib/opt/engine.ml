@@ -143,6 +143,7 @@ let order_structural a b =
    [objective] attach their spans under the objective span. *)
 let evaluate tracer objective (parent, t) =
   let count = ref 0 in
+  let t_start = Unix.gettimeofday () in
   let checked =
     Tracer.span tracer "engine.legality" (fun () ->
         match Framework.extend ~count parent.state t with
@@ -152,29 +153,42 @@ let evaluate tracer objective (parent, t) =
           | Error v -> Error (Rejected (Legality.reasons v))
           | Ok result -> Ok (st, result)))
   in
+  let leg_s = Unix.gettimeofday () -. t_start in
   match checked with
-  | Error _ as e -> (e, !count, false)
-  | Ok (st, result) -> (
-    match
-      Tracer.span tracer "engine.objective" (fun () -> objective result)
-    with
-    | score when Float.is_nan score -> (Error Unscoreable, !count, true)
-    | score -> (Ok (st, result, score), !count, true)
-    | exception _ -> (Error Unscoreable, !count, true))
+  | Error _ as e -> (e, !count, false, leg_s, 0.)
+  | Ok (st, result) ->
+    let t_obj = Unix.gettimeofday () in
+    let verdict =
+      match
+        Tracer.span tracer "engine.objective" (fun () -> objective result)
+      with
+      | score when Float.is_nan score -> Error Unscoreable
+      | score -> Ok (st, result, score)
+      | exception _ -> Error Unscoreable
+    in
+    (verdict, !count, true, leg_s, Unix.gettimeofday () -. t_obj)
 
 (* Tier-0 evaluation of one candidate: legality, then the analytic
-   estimate — no simulation. Also runs on worker domains. *)
+   estimate — no simulation. Also runs on worker domains. The two trailing
+   floats are the candidate's legality and estimate durations; the
+   coordinator folds them (in input order) into the per-phase breakdown. *)
 let evaluate_tier0 tier0 (parent, t) =
   let count = ref 0 in
+  let t_start = Unix.gettimeofday () in
   let checked =
     match Framework.extend ~count parent.state t with
     | Error v -> Error (Rejected (Legality.reasons v))
     | Ok st -> (
       match Framework.finish st with
       | Error v -> Error (Rejected (Legality.reasons v))
-      | Ok result -> Ok (st, result, tier0 result))
+      | Ok result -> Ok (st, result))
   in
-  (checked, !count)
+  let t_leg = Unix.gettimeofday () in
+  match checked with
+  | Error cause -> (Error cause, !count, t_leg -. t_start, 0.)
+  | Ok (st, result) ->
+    let est = tier0 result in
+    (Ok (st, result, est), !count, t_leg -. t_start, Unix.gettimeofday () -. t_leg)
 
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
@@ -256,6 +270,13 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   let tier0_pruned = ref 0 in
   let expand_time = ref 0. in
   let evaluate_time = ref 0. in
+  (* Finer-grained phase attribution inside the evaluation batches:
+     per-candidate durations measured on the worker, summed here in input
+     order. With one domain the three sums partition [evaluate_time] (up
+     to batch machinery); with several they are CPU time, not wall. *)
+  let legality_time = ref 0. in
+  let tier0_time = ref 0. in
+  let exact_time = ref 0. in
   let merge_time = ref 0. in
   (* Anytime budget: consulted only at batch boundaries (step starts, and
      between a step's evaluation batches), never inside one, so a given
@@ -297,14 +318,19 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   let root =
     incr explored;
     let _, root_key = canon_key [] in
+    let t_leg = Unix.gettimeofday () in
     let st = Framework.start ~vectors nest in
-    match Framework.finish st with
+    let finished = Framework.finish st in
+    legality_time := !legality_time +. (Unix.gettimeofday () -. t_leg);
+    match finished with
     | Error _ -> None
     | Ok result -> (
       match tier0_fn with
       | Some t0 when tier0_only ->
         incr tier0_evals;
+        let t_est = Unix.gettimeofday () in
         let est = t0 result in
+        tier0_time := !tier0_time +. (Unix.gettimeofday () -. t_est);
         Some
           {
             seq = [];
@@ -314,18 +340,25 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
             result;
             score = est.Costmodel.score;
           }
-      | _ -> (
+      | _ ->
         incr objective_evals;
-        match
-          Tracer.span tracer "engine.objective"
-            ~attrs:(fun () -> [ ("root", Bool true) ])
-            (fun () -> Tracer.with_ambient tracer (fun () -> objective result))
-        with
-        | score when Float.is_nan score -> None
-        | score ->
+        let t_obj = Unix.gettimeofday () in
+        let scored =
+          match
+            Tracer.span tracer "engine.objective"
+              ~attrs:(fun () -> [ ("root", Bool true) ])
+              (fun () ->
+                Tracer.with_ambient tracer (fun () -> objective result))
+          with
+          | score -> Some score
+          | exception _ -> None
+        in
+        exact_time := !exact_time +. (Unix.gettimeofday () -. t_obj);
+        match scored with
+        | Some score when not (Float.is_nan score) ->
           Some
             { seq = []; canon = []; key = root_key; state = st; result; score }
-        | exception _ -> None))
+        | _ -> None)
   in
   match root with
   | None -> None
@@ -465,10 +498,12 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                  record rejection provenance. *)
               let fresh = ref [] in
               Array.iteri
-                (fun i (r, apps, obj_ran) ->
+                (fun i (r, apps, obj_ran, leg_s, obj_s) ->
                   let _, _, cand, canon, key = misses.(i) in
                   applications := !applications + apps;
                   saved := !saved + max 0 (List.length cand - apps);
+                  legality_time := !legality_time +. leg_s;
+                  exact_time := !exact_time +. obj_s;
                   if obj_ran then incr objective_evals;
                   match r with
                   | Ok (st, result, score) ->
@@ -498,10 +533,12 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               in
               let pending = ref [] in
               Array.iteri
-                (fun i (r, apps) ->
+                (fun i (r, apps, leg_s, t0_s) ->
                   let _, _, cand, canon, key = misses.(i) in
                   applications := !applications + apps;
                   saved := !saved + max 0 (List.length cand - apps);
+                  legality_time := !legality_time +. leg_s;
+                  tier0_time := !tier0_time +. t0_s;
                   match r with
                   | Ok (st, result, est) ->
                     incr tier0_evals;
@@ -596,7 +633,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               let scored =
                 if tier0_only then
                   Array.map
-                    (fun c -> (c, Ok c.cest.Costmodel.score))
+                    (fun c -> (c, Ok c.cest.Costmodel.score, 0.))
                     survivors
                 else
                   Tracer.span tracer "engine.exact"
@@ -625,21 +662,28 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                                   (fun () ->
                                     Tracer.span tr "engine.objective"
                                       (fun () ->
-                                        match objective c.cresult with
-                                        | s when Float.is_nan s ->
-                                          Error Unscoreable
-                                        | s -> Ok s
-                                        | exception _ -> Error Unscoreable))))
+                                        let t_obj = Unix.gettimeofday () in
+                                        let r =
+                                          match objective c.cresult with
+                                          | s when Float.is_nan s ->
+                                            Error Unscoreable
+                                          | s -> Ok s
+                                          | exception _ -> Error Unscoreable
+                                        in
+                                        (r, Unix.gettimeofday () -. t_obj)))))
                           tasks
                       in
                       Tracer.join tracer (Array.to_list forks);
-                      Array.map2 (fun c r -> (c, r)) survivors results)
+                      Array.map2
+                        (fun c (r, obj_s) -> (c, r, obj_s))
+                        survivors results)
               in
               let t2 = Unix.gettimeofday () in
               evaluate_time := !evaluate_time +. (t2 -. t1);
               let fresh = ref [] in
               Array.iter
-                (fun (c, r) ->
+                (fun (c, r, obj_s) ->
+                  exact_time := !exact_time +. obj_s;
                   if not tier0_only then incr objective_evals;
                   match r with
                   | Ok score ->
@@ -707,6 +751,9 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
         work_threshold = (if domains > 1 then Pool.default_threshold else 0);
         expand_time_s = !expand_time;
         evaluate_time_s = !evaluate_time;
+        legality_time_s = !legality_time;
+        tier0_time_s = !tier0_time;
+        exact_time_s = !exact_time;
         merge_time_s = !merge_time;
         total_time_s = total;
       }

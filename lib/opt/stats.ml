@@ -13,6 +13,9 @@ type t = {
   work_threshold : int;
   expand_time_s : float;
   evaluate_time_s : float;
+  legality_time_s : float;
+  tier0_time_s : float;
+  exact_time_s : float;
   merge_time_s : float;
   total_time_s : float;
 }
@@ -33,6 +36,9 @@ let zero =
     work_threshold = 0;
     expand_time_s = 0.;
     evaluate_time_s = 0.;
+    legality_time_s = 0.;
+    tier0_time_s = 0.;
+    exact_time_s = 0.;
     merge_time_s = 0.;
     total_time_s = 0.;
   }
@@ -48,12 +54,14 @@ let pp ppf s =
      objective evaluations %d@,\
      tier-0 evaluations    %d (pruned %d candidates before the exact tier)@,\
      domains               %d (sequential below %d candidates/step)@,\
-     time: expand %.3fs, evaluate %.3fs, merge %.3fs, total %.3fs@]"
+     time: expand %.3fs, evaluate %.3fs (legality %.3fs, tier-0 %.3fs, \
+     exact %.3fs), merge %.3fs, total %.3fs@]"
     s.nodes_explored s.duplicates_pruned s.legality_cache_hits
     s.score_cache_hits s.illegal s.template_applications
     s.template_applications_saved s.objective_evaluations s.tier0_evaluations
     s.tier0_pruned s.domains s.work_threshold s.expand_time_s s.evaluate_time_s
-    s.merge_time_s s.total_time_s
+    s.legality_time_s s.tier0_time_s s.exact_time_s s.merge_time_s
+    s.total_time_s
 
 let to_json_value s =
   Itf_obs.Json.Obj
@@ -73,6 +81,9 @@ let to_json_value s =
       ("work_threshold", Itf_obs.Json.Int s.work_threshold);
       ("expand_time_s", Itf_obs.Json.Float s.expand_time_s);
       ("evaluate_time_s", Itf_obs.Json.Float s.evaluate_time_s);
+      ("legality_time_s", Itf_obs.Json.Float s.legality_time_s);
+      ("tier0_time_s", Itf_obs.Json.Float s.tier0_time_s);
+      ("exact_time_s", Itf_obs.Json.Float s.exact_time_s);
       ("merge_time_s", Itf_obs.Json.Float s.merge_time_s);
       ("total_time_s", Itf_obs.Json.Float s.total_time_s);
     ]
@@ -100,5 +111,22 @@ let record metrics s =
     (Itf_obs.Metrics.gauge metrics "engine.work_threshold")
     (float_of_int s.work_threshold);
   Itf_obs.Metrics.observe
-    (Itf_obs.Metrics.histogram metrics "engine.total_time_ms")
-    (s.total_time_s *. 1e3)
+    (Itf_obs.Metrics.histogram metrics
+       ~buckets:Itf_obs.Metrics.duration_buckets "engine.total_time_ms")
+    (s.total_time_s *. 1e3);
+  (* One observation per phase per search, in microseconds on the shared
+     log-linear layout: histogram sums give the aggregate per-phase time
+     breakdown, quantiles its per-search distribution — available even
+     when tracing is disabled or the request was sampled out. *)
+  let phase name v_s =
+    Itf_obs.Metrics.observe
+      (Itf_obs.Metrics.histogram metrics
+         ~labels:[ ("phase", name) ]
+         ~buckets:Itf_obs.Metrics.duration_buckets "engine.phase_us")
+      (v_s *. 1e6)
+  in
+  phase "expand" s.expand_time_s;
+  phase "legality" s.legality_time_s;
+  phase "tier0" s.tier0_time_s;
+  phase "exact" s.exact_time_s;
+  phase "merge" s.merge_time_s

@@ -31,6 +31,15 @@ type t = {
           calling thread even when [domains > 1] (see {!Pool.map_auto}) *)
   expand_time_s : float;  (** move generation + canonicalization + dedupe *)
   evaluate_time_s : float;  (** legality + objective evaluation (all domains) *)
+  legality_time_s : float;
+      (** per-candidate template application + dependence testing (summed
+          across domains, merged in input order) — a component of
+          [evaluate_time_s], plus the root's legality check *)
+  tier0_time_s : float;
+      (** per-candidate tier-0 analytic estimates (summed across domains) *)
+  exact_time_s : float;
+      (** per-candidate exact objective simulations (summed across
+          domains), including the root evaluation *)
   merge_time_s : float;  (** deterministic sort/beam selection *)
   total_time_s : float;
 }
@@ -50,5 +59,10 @@ val record : Itf_obs.Metrics.t -> t -> unit
     [engine.*] names (so repeated searches accumulate) plus the two-tier
     objective counters [objective.exact_evals] / [objective.tier0_evals] /
     [objective.tier0_pruned]; [engine.domains] and [engine.work_threshold]
-    are gauges, and the total time lands in an [engine.total_time_ms]
-    histogram. *)
+    are gauges; the total time lands in an [engine.total_time_ms]
+    histogram and each phase time (expand / legality / tier0 / exact /
+    merge) in an [engine.phase_us{phase=...}] duration histogram — one
+    observation per search, on the shared
+    {!Itf_obs.Metrics.duration_buckets} layout, so a live registry always
+    answers "which phase is eating the time" even when span tracing is
+    off or head-sampled out. *)

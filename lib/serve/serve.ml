@@ -13,12 +13,26 @@
    and budget excluded): an identical request is answered without running
    the engine at all. Only [Complete] outcomes are cached — a degraded
    answer is an artifact of one request's deadline, not a fact about the
-   nest — so cache hits never launder a cut search into an "ok". *)
+   nest — so cache hits never launder a cut search into an "ok".
+
+   Live introspection (DESIGN.md §12): every search request is recorded
+   in a bounded ring of request records (status, wall time, per-phase
+   breakdown from the engine stats, cache hit), its latency observed into
+   a [serve.request_us] histogram; [{"op": "status"}] snapshots uptime,
+   request counters, latency quantiles, the phase breakdown, cache and
+   intern-table health, and the recent slow requests, and
+   [{"op": "metrics"}] exposes the whole registry as Prometheus text.
+   Span traces are captured per request and retained by a deterministic
+   head-sampling decision on the fingerprint ([--sample-rate]) with a
+   tail-based override: slow (>= [--slow-ms]), degraded and error
+   requests keep their span tree even when head-sampled out. *)
 
 module Json = Itf_obs.Json
 module Metrics = Itf_obs.Metrics
 module Tracer = Itf_obs.Tracer
+module Profile = Itf_obs.Profile
 module Engine = Itf_opt.Engine
+module Stats = Itf_opt.Stats
 module Sequence = Itf_core.Sequence
 
 (* ------------------------------------------------------------------ *)
@@ -83,26 +97,80 @@ module Lru = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Recent-request ring buffer                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One completed request, as remembered by the slow log. The phase
+   breakdown comes from the engine's stats record, so it is present even
+   when span tracing is off or the request was head-sampled out; the
+   profile rows are only filled for requests whose span tree was
+   retained. *)
+type req_record = {
+  rq_id : Json.t;
+  rq_fingerprint : string;
+  rq_status : string;
+  rq_wall_us : float;
+  rq_cached : bool;
+  rq_phases_us : (string * float) list;
+  rq_profile : Profile.row list;
+}
+
+module Ring = struct
+  type t = {
+    slots : req_record option array;
+    mutable next : int;
+    mutable total : int;
+  }
+
+  let create cap =
+    { slots = Array.make (max 1 cap) None; next = 0; total = 0 }
+
+  let push t x =
+    t.slots.(t.next) <- Some x;
+    t.next <- (t.next + 1) mod Array.length t.slots;
+    t.total <- t.total + 1
+
+  (* Newest first. *)
+  let recent t =
+    let n = Array.length t.slots in
+    let out = ref [] in
+    for k = 0 to n - 1 do
+      match t.slots.((t.next + k) mod n) with
+      | Some x -> out := x :: !out
+      | None -> ()
+    done;
+    !out
+end
+
+(* ------------------------------------------------------------------ *)
 (* Server state                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let default_max_cache = 64
+let default_slow_ms = 500.
+let default_recent = 128
+let slow_log_limit = 16
 
 type t = {
   domains : int option;
   default_deadline_ms : float option;
   cache : Lru.t;
   metrics : Metrics.t;
-  tracer : Tracer.t;
+  tracer : Tracer.t;  (** accumulates the {e retained} request span trees *)
   metrics_out : string option;
   trace_out : string option;
+  slow_ms : float;
+  sample_rate : float;
+  started : float;
+  recent : Ring.t;
   lock : Mutex.t;  (** serializes searches, interning and the cache *)
   clients : (Unix.file_descr list ref * Mutex.t);
   mutable stopping : bool;
 }
 
 let create ?domains ?default_deadline_ms ?(max_cache = default_max_cache)
-    ?metrics_out ?trace_out () =
+    ?metrics_out ?trace_out ?(slow_ms = default_slow_ms) ?(sample_rate = 1.)
+    ?(recent = default_recent) () =
   {
     domains;
     default_deadline_ms;
@@ -111,6 +179,10 @@ let create ?domains ?default_deadline_ms ?(max_cache = default_max_cache)
     tracer = (if trace_out = None then Tracer.null else Tracer.create ());
     metrics_out;
     trace_out;
+    slow_ms;
+    sample_rate;
+    started = Unix.gettimeofday ();
+    recent = Ring.create recent;
     lock = Mutex.create ();
     clients = (ref [], Mutex.create ());
     stopping = false;
@@ -217,11 +289,14 @@ let parse_request json =
       }
   | _ -> Error "request must be a JSON object"
 
-(* The response-cache key: everything that determines the answer. The
-   nest contributes its intern id, so textually different spellings of
-   the same nest share an entry; the budget and request id are excluded
-   (they affect how long we search, not what the full answer is — and
-   degraded answers are never cached). *)
+(* The response-cache key: everything that determines the answer, and
+   {e only} that. The nest contributes its intern id, so textually
+   different spellings of the same nest share an entry; the budget and
+   request id are excluded (they affect how long we search, not what the
+   full answer is — and degraded answers are never cached), and no
+   wall-clock-derived value may ever enter the key or the cached body:
+   a cache hit must replay the original search payload byte-identically,
+   with only the per-response [cached]/[time_ms] envelope fresh. *)
 let fingerprint req nest =
   let params =
     List.sort compare req.params
@@ -274,7 +349,22 @@ let flush_observability t =
     write_text_file path
       (String.concat "\n" (Tracer.jsonl_lines (Tracer.roots t.tracer)) ^ "\n")
 
-let search_response t req ~t_recv =
+let request_latency t =
+  Metrics.histogram t.metrics ~buckets:Metrics.duration_buckets
+    "serve.request_us"
+
+let phase_names = [ "expand"; "legality"; "tier0"; "exact"; "merge" ]
+
+let phases_of_stats (s : Stats.t) =
+  [
+    ("expand", s.Stats.expand_time_s *. 1e6);
+    ("legality", s.Stats.legality_time_s *. 1e6);
+    ("tier0", s.Stats.tier0_time_s *. 1e6);
+    ("exact", s.Stats.exact_time_s *. 1e6);
+    ("merge", s.Stats.merge_time_s *. 1e6);
+  ]
+
+let search_response t ~tracer req ~t_recv =
   match Itf_lang.Parser.parse req.nest_src with
   | exception Itf_lang.Parser.Error { line; message } ->
     Error (Printf.sprintf "nest:%d: %s" line message)
@@ -282,7 +372,7 @@ let search_response t req ~t_recv =
     let nest = prog.Itf_lang.Parser.nest in
     let key = fingerprint req nest in
     match Lru.find t.cache key with
-    | Some cached -> Ok (`Cached cached)
+    | Some cached -> Ok (`Cached (cached, key))
     | None ->
       let memo = true in
       let obj, tier0 =
@@ -330,7 +420,7 @@ let search_response t req ~t_recv =
           Some { Engine.deadline_s; max_nodes }
       in
       let outcome =
-        Tracer.span t.tracer "serve.request"
+        Tracer.span tracer "serve.request"
           ~attrs:(fun () ->
             [
               ("id", Tracer.String (Json.to_string req.id));
@@ -338,7 +428,7 @@ let search_response t req ~t_recv =
             ])
           (fun () ->
             Engine.search ~beam:req.beam ~steps:req.steps ?domains:t.domains
-              ~tracer:t.tracer ~metrics:t.metrics ?tier0
+              ~tracer ~metrics:t.metrics ?tier0
               ~exact_topk:(max 1 req.exact_topk) ~tier0_only:req.tier0_only
               ?budget nest obj)
       in
@@ -364,7 +454,131 @@ let search_response t req ~t_recv =
         in
         let body = Json.Obj body in
         if o.Engine.completion = Engine.Complete then Lru.add t.cache key body;
-        Ok (`Fresh body)))
+        Ok (`Fresh (body, key, o.Engine.stats))))
+
+(* ------------------------------------------------------------------ *)
+(* Introspection ops                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let record_json r =
+  Json.Obj
+    ([
+       ("id", r.rq_id);
+       ("fingerprint", Json.String r.rq_fingerprint);
+       ("status", Json.String r.rq_status);
+       ("wall_us", Json.Float r.rq_wall_us);
+       ("cached", Json.Bool r.rq_cached);
+       ( "phases_us",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) r.rq_phases_us)
+       );
+     ]
+    @
+    if r.rq_profile = [] then []
+    else [ ("profile", Profile.to_json (Profile.top 8 r.rq_profile)) ])
+
+let is_slow t r = r.rq_status <> "ok" || r.rq_wall_us >= t.slow_ms *. 1000.
+
+(* The status snapshot. Reads the registry and the ring under the server
+   lock (the caller holds it); every number is either an integer counter
+   or derived from integer bucket counts, so two servers fed the same
+   requests report the same snapshot modulo the wall-clock fields. *)
+let status_snapshot t ~id =
+  let now = Unix.gettimeofday () in
+  let cnt s =
+    Metrics.counter_value
+      (Metrics.counter t.metrics ~labels:[ ("status", s) ] "serve.requests")
+  in
+  let ok = cnt "ok" and degraded = cnt "degraded" and errors = cnt "error" in
+  let lat = request_latency t in
+  let lat_count = Metrics.histogram_count lat in
+  let q p = Option.value ~default:0. (Metrics.quantile lat p) in
+  let phase_sum p =
+    Metrics.histogram_sum
+      (Metrics.histogram t.metrics
+         ~labels:[ ("phase", p) ]
+         ~buckets:Metrics.duration_buckets "engine.phase_us")
+  in
+  let search_h =
+    Metrics.histogram t.metrics ~buckets:Metrics.duration_buckets
+      "engine.total_time_ms"
+  in
+  let slow =
+    List.filteri
+      (fun k _ -> k < slow_log_limit)
+      (List.filter (is_slow t) (Ring.recent t.recent))
+  in
+  let intern =
+    List.map
+      (fun s ->
+        Json.Obj
+          [
+            ("table", Json.String s.Itf_mat.Hashcons.name);
+            ("size", Json.Int s.Itf_mat.Hashcons.size);
+            ("hits", Json.Int s.Itf_mat.Hashcons.hits);
+            ("misses", Json.Int s.Itf_mat.Hashcons.misses);
+            ("evictions", Json.Int s.Itf_mat.Hashcons.evictions);
+          ])
+      (Itf_mat.Hashcons.stats ())
+  in
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("uptime_s", Json.Float (now -. t.started));
+      ( "requests",
+        Json.Obj
+          [
+            ("ok", Json.Int ok);
+            ("degraded", Json.Int degraded);
+            ("error", Json.Int errors);
+            ("total", Json.Int (ok + degraded + errors));
+          ] );
+      ( "latency_us",
+        Json.Obj
+          [
+            ("count", Json.Int lat_count);
+            ("sum", Json.Float (Metrics.histogram_sum lat));
+            ( "mean",
+              Json.Float
+                (if lat_count = 0 then 0.
+                 else Metrics.histogram_sum lat /. float_of_int lat_count) );
+            ("p50", Json.Float (q 0.5));
+            ("p90", Json.Float (q 0.9));
+            ("p99", Json.Float (q 0.99));
+          ] );
+      ( "phases_us",
+        Json.Obj
+          (List.map (fun p -> (p, Json.Float (phase_sum p))) phase_names) );
+      ( "search_us",
+        Json.Obj
+          [
+            ("count", Json.Int (Metrics.histogram_count search_h));
+            ( "total",
+              Json.Float (Metrics.histogram_sum search_h *. 1e3)
+              (* engine.total_time_ms is in ms *) );
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("size", Json.Int (Lru.size t.cache));
+            ("hits", Json.Int t.cache.Lru.hits);
+            ("misses", Json.Int t.cache.Lru.misses);
+            ("evictions", Json.Int t.cache.Lru.evictions);
+          ] );
+      ("intern", Json.List intern);
+      ("slow_ms", Json.Float t.slow_ms);
+      ("sample_rate", Json.Float t.sample_rate);
+      ("slow", Json.List (List.map record_json slow));
+    ]
+
+let metrics_snapshot t ~id =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "ok");
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("metrics", Json.String (Metrics.dump_prometheus t.metrics));
+    ]
 
 (* [handle t json] answers one decoded request; returns the response and
    whether the server should stop. Never raises: any error — malformed
@@ -372,52 +586,132 @@ let search_response t req ~t_recv =
    [status = "error"] response. *)
 let handle t json =
   let t_recv = Unix.gettimeofday () in
-  match json with
-  | Json.Obj _ when Json.member "op" json = Some (Json.String "shutdown") ->
+  let req_id () = Option.value ~default:Json.Null (Json.member "id" json) in
+  let op =
+    match json with
+    | Json.Obj _ -> (
+      match Json.member "op" json with
+      | Some (Json.String s) -> Some s
+      | Some _ -> Some ""
+      | None -> None)
+    | _ -> None
+  in
+  match op with
+  | Some "shutdown" ->
     t.stopping <- true;
     count_request t "ok";
     ( Json.Obj
         [
-          ("id", Option.value ~default:Json.Null (Json.member "id" json));
+          ("id", req_id ());
           ("status", Json.String "ok");
           ("shutdown", Json.Bool true);
         ],
       true )
-  | _ ->
+  | Some "status" ->
     let resp =
+      Mutex.protect t.lock (fun () ->
+          let r = status_snapshot t ~id:(req_id ()) in
+          count_request t "ok";
+          flush_observability t;
+          r)
+    in
+    (resp, false)
+  | Some "metrics" ->
+    let resp =
+      Mutex.protect t.lock (fun () ->
+          let r = metrics_snapshot t ~id:(req_id ()) in
+          count_request t "ok";
+          flush_observability t;
+          r)
+    in
+    (resp, false)
+  | Some other ->
+    let resp =
+      error_response ~id:(req_id ())
+        (Printf.sprintf "unknown op %S (use status|metrics|shutdown)" other)
+    in
+    Mutex.protect t.lock (fun () ->
+        count_request t "error";
+        flush_observability t);
+    (resp, false)
+  | None ->
+    (* A search request. Span capture is per request: a fresh tracer when
+       the tracing sink is configured, spliced into the retained forest
+       only if the head-sampling draw keeps it or the tail condition
+       (slow/degraded/error) fires. *)
+    let rt = if t.trace_out = None then Tracer.null else Tracer.create () in
+    let resp, fp, cached, phases, req_id_v =
       match parse_request json with
-      | Error msg ->
-        error_response
-          ?id:(Json.member "id" json)
-          msg
+      | Error msg -> (error_response ?id:(Json.member "id" json) msg, "", false, [], req_id ())
       | Ok req -> (
         match
-          Mutex.protect t.lock (fun () -> search_response t req ~t_recv)
+          Mutex.protect t.lock (fun () ->
+              search_response t ~tracer:rt req ~t_recv)
         with
-        | Error msg -> error_response ~id:req.id msg
+        | Error msg -> (error_response ~id:req.id msg, "", false, [], req.id)
         | Ok answer ->
-          let body, cached =
+          let body, fp, cached, phases =
             match answer with
-            | `Cached body -> (body, true)
-            | `Fresh body -> (body, false)
+            | `Cached (body, fp) -> (body, fp, true, [])
+            | `Fresh (body, fp, stats) ->
+              (body, fp, false, phases_of_stats stats)
           in
           let time_ms = (Unix.gettimeofday () -. t_recv) *. 1000. in
-          Json.Obj
-            (("id", req.id)
-            :: (match body with Json.Obj kvs -> kvs | v -> [ ("result", v) ])
-            @ [ ("cached", Json.Bool cached); ("time_ms", Json.Float time_ms) ]
-            )
+          ( Json.Obj
+              (("id", req.id)
+              :: (match body with Json.Obj kvs -> kvs | v -> [ ("result", v) ])
+              @ [
+                  ("cached", Json.Bool cached); ("time_ms", Json.Float time_ms);
+                ]),
+            fp,
+            cached,
+            phases,
+            req.id )
         | exception e ->
-          error_response ~id:req.id
-            ("internal error: " ^ Printexc.to_string e))
+          ( error_response ~id:req.id
+              ("internal error: " ^ Printexc.to_string e),
+            "",
+            false,
+            [],
+            req.id ))
     in
     let status =
       match Json.member "status" resp with
       | Some (Json.String s) -> s
       | _ -> "error"
     in
+    let wall_us = (Unix.gettimeofday () -. t_recv) *. 1e6 in
+    let record =
+      {
+        rq_id = req_id_v;
+        rq_fingerprint = fp;
+        rq_status = status;
+        rq_wall_us = wall_us;
+        rq_cached = cached;
+        rq_phases_us = phases;
+        rq_profile = [];
+      }
+    in
+    (* Head sampling is decided by the fingerprint alone, so reruns of the
+       same request stream retain the same traces; the tail condition
+       overrides it for anything worth a post-mortem. Capture already
+       happened either way — sampling only chooses retention, so the kept
+       span trees are unaffected by the rate. *)
+    let retained =
+      Tracer.enabled rt
+      && (is_slow t record
+         || Tracer.head_keep ~sample_rate:t.sample_rate ~fingerprint:fp)
+    in
+    let record =
+      if retained then
+        { record with rq_profile = Profile.of_spans (Tracer.roots rt) }
+      else record
+    in
     Mutex.protect t.lock (fun () ->
         count_request t status;
+        Metrics.observe (request_latency t) wall_us;
+        Ring.push t.recent record;
+        if retained then Tracer.join t.tracer [ rt ];
         publish_cache_gauges t;
         flush_observability t);
     (resp, false)

@@ -15,21 +15,47 @@
     ["beam"], ["exact_topk"] ([0] disables the tier-0 screen),
     ["tier0_only"], ["deadline_ms"], ["max_nodes"]. The deadline is
     measured from receipt, so queueing delay counts against it.
-    [{"op": "shutdown"}] stops the server.
 
-    {b Response} fields: ["id"], ["status"] ([ok] — complete; [degraded]
-    — budget expired, best-so-far answer plus a ["cut"] checkpoint name;
-    [error] — malformed request, unparseable nest, unscoreable nest),
-    ["score"], ["sequence"], ["canonical"], ["explored"],
-    ["exact_evals"], ["cached"], ["time_ms"]. Errors are responses, never
-    crashes. Only complete outcomes enter the response cache, so a cached
-    answer is never a previously degraded one. *)
+    {b Ops}: [{"op": "shutdown"}] stops the server; [{"op": "status"}]
+    returns a live snapshot (uptime, request counters, latency quantiles
+    from the [serve.request_us] histogram, per-phase time breakdown from
+    the [engine.phase_us] histograms, cache and hash-cons intern-table
+    health, and the recent slow requests); [{"op": "metrics"}] returns
+    the whole registry in the Prometheus text exposition format under a
+    ["metrics"] string field. Any other ["op"] is an error response.
+
+    {b Response} fields (search): ["id"], ["status"] ([ok] — complete;
+    [degraded] — budget expired, best-so-far answer plus a ["cut"]
+    checkpoint name; [error] — malformed request, unparseable nest,
+    unscoreable nest), ["score"], ["sequence"], ["canonical"],
+    ["explored"], ["exact_evals"], ["cached"], ["time_ms"]. Errors are
+    responses, never crashes. Only complete outcomes enter the response
+    cache, and no wall-clock-derived value enters the cache key or the
+    cached body, so a cached repeat replays the original search payload
+    byte-identically with only ["cached"]/["time_ms"] fresh — and a
+    cached answer is never a previously degraded one.
+
+    {b Slow log & sampling} (DESIGN.md §12): every search request lands
+    in a bounded ring of request records (id, fingerprint, status, wall
+    time, per-phase breakdown, cache hit). A request is {e slow} when its
+    wall time reaches [slow_ms] or its status is not [ok]; the newest
+    slow records appear in the status snapshot. When [trace_out] is set,
+    spans are captured per request and {e retained} by
+    {!Itf_obs.Tracer.head_keep} on the request fingerprint
+    ([sample_rate]) — deterministic, so reruns keep the same traces —
+    with slow requests always retained (tail-based keep); retained
+    requests also carry a self-time profile ({!Itf_obs.Profile}) in
+    their ring record. *)
 
 type t
-(** Server state: response cache, metrics registry, tracer, lock. *)
+(** Server state: response cache, metrics registry, tracer, request ring,
+    lock. *)
 
 val default_max_cache : int
 (** Default response-cache capacity (entries). *)
+
+val default_slow_ms : float
+(** Default slow-request threshold (milliseconds). *)
 
 val create :
   ?domains:int ->
@@ -37,6 +63,9 @@ val create :
   ?max_cache:int ->
   ?metrics_out:string ->
   ?trace_out:string ->
+  ?slow_ms:float ->
+  ?sample_rate:float ->
+  ?recent:int ->
   unit ->
   t
 (** [create ()] builds a server. [domains] is passed to every
@@ -44,9 +73,11 @@ val create :
     that carry no ["deadline_ms"] of their own; [max_cache] (default
     {!default_max_cache}, [0] disables caching) bounds the LRU response
     cache; [metrics_out]/[trace_out] name files rewritten after every
-    request with the {!Itf_obs.Metrics} dump ([serve.requests{status=...}]
-    counters, [serve.cache.*] gauges, engine and simulator counters) and
-    the span trace. *)
+    request with the {!Itf_obs.Metrics} dump and the retained span
+    trace. [slow_ms] (default {!default_slow_ms}) sets the slow-log
+    threshold; [sample_rate] (default [1.] — keep everything) the
+    deterministic head-sampling rate for trace retention; [recent]
+    (default 128) the request-ring capacity. *)
 
 val metrics : t -> Itf_obs.Metrics.t
 (** The server's metrics registry (shared with every search it runs). *)

@@ -10,6 +10,7 @@ module Json = Itf_obs.Json
 module Tracer = Itf_obs.Tracer
 module Metrics = Itf_obs.Metrics
 module Report = Itf_obs.Report
+module Profile = Itf_obs.Profile
 module T = Itf_core.Template
 module Legality = Itf_core.Legality
 module Boundsmap = Itf_core.Boundsmap
@@ -256,6 +257,185 @@ let test_merge_and_dump_determinism () =
   check_bool "dump is insertion-order independent" true
     (Json.equal (Metrics.dump x) (Metrics.dump y))
 
+let test_log_linear () =
+  check_bool "1-2-5 series" true
+    (Metrics.log_linear ~lo:1. ~hi:100. = [| 1.; 2.; 5.; 10.; 20.; 50.; 100. |]);
+  check_bool "stops at first bound >= hi" true
+    (Metrics.log_linear ~lo:1. ~hi:60. = [| 1.; 2.; 5.; 10.; 20.; 50.; 100. |]);
+  check_bool "duration buckets span 1us..100s" true
+    (let b = Metrics.duration_buckets in
+     b.(0) = 1. && b.(Array.length b - 1) = 1e8);
+  check_bool "bad range rejected" true
+    (match Metrics.log_linear ~lo:0. ~hi:1. with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_histogram_sum_count () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 1.; 10. |] "h" in
+  check_int "empty count" 0 (Metrics.histogram_count h);
+  check_float "empty sum" 0. (Metrics.histogram_sum h);
+  List.iter (Metrics.observe h) [ 0.5; 5.; 100. ];
+  check_int "count" 3 (Metrics.histogram_count h);
+  check_float "sum at 1/1000 resolution" 105.5 (Metrics.histogram_sum h);
+  (* the dump carries count and sum alongside the bucket counts *)
+  match Option.bind (Json.member "metrics" (Metrics.dump m)) Json.to_list with
+  | Some [ entry ] ->
+    check_bool "dump count" true (Json.member "count" entry = Some (Json.Int 3));
+    check_bool "dump sum" true
+      (Json.member "sum" entry = Some (Json.Float 105.5))
+  | _ -> Alcotest.fail "expected exactly one metric entry"
+
+(* Exact quantile values on a synthetic fill: 10 observations <= 1 and 10
+   in (1, 2], over buckets [1; 2; 5; 10]. Linear interpolation inside the
+   holding bucket (lower edge 0 for the first) makes every value
+   computable by hand. *)
+let test_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 1.; 2.; 5.; 10. |] "q" in
+  for _ = 1 to 10 do Metrics.observe h 0.5 done;
+  for _ = 1 to 10 do Metrics.observe h 1.5 done;
+  let q p = Option.get (Metrics.quantile h p) in
+  check_float "p50 = top of the first bucket" 1.0 (q 0.5);
+  check_float "p75 interpolates the second bucket" 1.5 (q 0.75);
+  check_float "p100 = top of the holding bucket" 2.0 (q 1.0);
+  check_float "q clamps below" (q 0.) (Option.get (Metrics.quantile h (-1.)));
+  (* monotone in q *)
+  let qs = List.map q [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1. ] in
+  check_bool "monotone in q" true
+    (List.for_all2 (fun a b -> a <= b) qs (List.tl qs @ [ infinity ]));
+  (* empty histogram has no quantiles *)
+  let e = Metrics.histogram m ~buckets:[| 1. |] "empty" in
+  check_bool "empty -> None" true (Metrics.quantile e 0.5 = None);
+  (* a rank landing in the overflow bucket saturates at the last bound *)
+  let o = Metrics.histogram m ~buckets:[| 1.; 2. |] "overflow" in
+  Metrics.observe o 100.;
+  check_float "overflow saturates" 2.0 (Option.get (Metrics.quantile o 0.99));
+  (* the pure-function form agrees with the live registry *)
+  check_bool "quantile_of_counts agrees" true
+    (Metrics.quantile_of_counts ~buckets:[| 1.; 2.; 5.; 10. |]
+       ~counts:[| 10; 10; 0; 0; 0 |] 0.75
+    = Some 1.5)
+
+(* Satellite: merging histograms with different bucket layouts must fail
+   loudly, naming the metric and both layouts — the silent corruption of
+   adding count arrays positionally is precisely the bug this guards. *)
+let test_merge_bucket_mismatch () =
+  let a = Metrics.create () and b = Metrics.create () in
+  ignore (Metrics.histogram a ~buckets:[| 1.; 2. |] "engine.phase_us");
+  Metrics.observe (Metrics.histogram b ~buckets:[| 1.; 2.; 5. |] "engine.phase_us") 1.5;
+  match Metrics.merge_into ~into:a b with
+  | exception Invalid_argument msg ->
+    List.iter
+      (fun sub ->
+        check_bool
+          (Printf.sprintf "message %S carries %S" msg sub)
+          true
+          (Builders.contains ~sub msg))
+      [ "engine.phase_us"; "1; 2"; "1; 2; 5" ]
+  | () -> Alcotest.fail "bucket mismatch silently merged"
+
+let test_merge_sums () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.observe (Metrics.histogram a ~buckets:[| 10. |] "h") 1.5;
+  Metrics.observe (Metrics.histogram b ~buckets:[| 10. |] "h") 2.25;
+  Metrics.merge_into ~into:a b;
+  let h = Metrics.histogram a ~buckets:[| 10. |] "h" in
+  check_int "counts add" 2 (Metrics.histogram_count h);
+  check_float "sums add" 3.75 (Metrics.histogram_sum h)
+
+let test_dump_prometheus () =
+  let m = Metrics.create () in
+  Metrics.incr (Metrics.counter m ~labels:[ ("status", "ok") ] "serve.requests");
+  Metrics.set (Metrics.gauge m "serve.cache.size") 3.;
+  let h = Metrics.histogram m ~buckets:[| 1.; 2. |] "serve.request_us" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 9. ];
+  let text = Metrics.dump_prometheus m in
+  List.iter
+    (fun sub ->
+      check_bool (Printf.sprintf "exposition carries %S" sub) true
+        (Builders.contains ~sub text))
+    [
+      "# TYPE serve_requests counter";
+      "serve_requests{status=\"ok\"} 1";
+      "# TYPE serve_cache_size gauge";
+      "serve_cache_size 3";
+      "# TYPE serve_request_us histogram";
+      "serve_request_us_bucket{le=\"1\"} 1";
+      "serve_request_us_bucket{le=\"2\"} 2";
+      "serve_request_us_bucket{le=\"+Inf\"} 3";
+      "serve_request_us_sum 11";
+      "serve_request_us_count 3";
+    ];
+  check_bool "no unsanitized names" true
+    (not (Builders.contains ~sub:"serve.request" text))
+
+(* {1 Head sampling} *)
+
+let test_head_keep () =
+  let fps = List.init 1000 (Printf.sprintf "fp-%d") in
+  check_bool "rate 1 keeps everything" true
+    (List.for_all (fun fp -> Tracer.head_keep ~sample_rate:1. ~fingerprint:fp) fps);
+  check_bool "rate 0 keeps nothing" true
+    (List.for_all
+       (fun fp -> not (Tracer.head_keep ~sample_rate:0. ~fingerprint:fp))
+       fps);
+  (* deterministic: the same fingerprint always answers the same *)
+  check_bool "deterministic" true
+    (List.for_all
+       (fun fp ->
+         Tracer.head_keep ~sample_rate:0.3 ~fingerprint:fp
+         = Tracer.head_keep ~sample_rate:0.3 ~fingerprint:fp)
+       fps);
+  (* monotone: kept at a low rate implies kept at any higher rate *)
+  check_bool "kept set grows with the rate" true
+    (List.for_all
+       (fun fp ->
+         (not (Tracer.head_keep ~sample_rate:0.2 ~fingerprint:fp))
+         || Tracer.head_keep ~sample_rate:0.7 ~fingerprint:fp)
+       fps);
+  (* the keep fraction tracks the rate (FNV-1a spreads well enough that
+     0.3 of 1000 fingerprints lands in [200, 400]) *)
+  let kept =
+    List.length
+      (List.filter (fun fp -> Tracer.head_keep ~sample_rate:0.3 ~fingerprint:fp) fps)
+  in
+  check_bool
+    (Printf.sprintf "keep fraction ~ rate (kept %d of 1000 at 0.3)" kept)
+    true
+    (kept >= 200 && kept <= 400)
+
+(* {1 Profile} *)
+
+(* A hand-built tree under the ticking clock: a { b; b } gives a
+   total 5, self 3 (two unit-long children), b count 2, total 2, self 2 —
+   and the in-memory and JSONL paths agree row for row. *)
+let test_profile_self_time () =
+  let tr = Tracer.create ~clock:(ticking ()) () in
+  Tracer.span tr "a" (fun () ->
+      Tracer.span tr "b" (fun () -> ());
+      Tracer.span tr "b" (fun () -> ()));
+  let roots = Tracer.roots tr in
+  let rows = Profile.of_spans roots in
+  (match rows with
+  | [ ra; rb ] ->
+    check_string "sorted by self time" "a" ra.Profile.name;
+    check_int "a count" 1 ra.Profile.count;
+    check_float "a total" 5.0 ra.Profile.total_s;
+    check_float "a self" 3.0 ra.Profile.self_s;
+    check_string "b second" "b" rb.Profile.name;
+    check_int "b count" 2 rb.Profile.count;
+    check_float "b total" 2.0 rb.Profile.total_s;
+    check_float "b self" 2.0 rb.Profile.self_s
+  | rs -> Alcotest.failf "expected 2 rows, got %d" (List.length rs));
+  (match Profile.of_lines (Tracer.jsonl_lines roots) with
+  | Error e -> Alcotest.failf "of_lines failed: %s" e
+  | Ok rows' -> check_bool "of_lines == of_spans" true (rows = rows'));
+  check_int "top truncates" 1 (List.length (Profile.top 1 rows));
+  (* rendering smoke: the self% column exists and rows carry their share *)
+  let text = Format.asprintf "%a" Profile.pp rows in
+  check_bool "table renders self%" true (Builders.contains ~sub:"self%" text)
+
 (* {1 Report} *)
 
 let test_report_rows () =
@@ -304,6 +484,21 @@ let test_report_malformed () =
       (Printf.sprintf "error names the line (%s)" e)
       true
       (Builders.contains ~sub:"line 2" e)
+
+(* Satellite: the metrics-file table renders count, sum, mean and the
+   quantile columns for histograms, straight from the dumped bucket
+   counts. *)
+let test_report_metrics_quantiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m ~buckets:[| 1.; 2.; 5.; 10. |] "lat" in
+  for _ = 1 to 10 do Metrics.observe h 0.5 done;
+  for _ = 1 to 10 do Metrics.observe h 1.5 done;
+  let text = Format.asprintf "%a" Report.pp_metrics_file (Metrics.dump m) in
+  List.iter
+    (fun sub ->
+      check_bool (Printf.sprintf "renders %S" sub) true
+        (Builders.contains ~sub text))
+    [ "count=20"; "sum=20"; "mean=1"; "p50=1"; "p90="; "p99=" ]
 
 (* {1 Rejection-reason taxonomy}
 
@@ -571,12 +766,30 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "merge and dump determinism" `Quick
             test_merge_and_dump_determinism;
+          Alcotest.test_case "log-linear bucket series" `Quick test_log_linear;
+          Alcotest.test_case "histogram sum and count" `Quick
+            test_histogram_sum_count;
+          Alcotest.test_case "quantile estimator" `Quick test_quantiles;
+          Alcotest.test_case "merge bucket mismatch raises" `Quick
+            test_merge_bucket_mismatch;
+          Alcotest.test_case "merge adds histogram sums" `Quick test_merge_sums;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_dump_prometheus;
+        ] );
+      ( "sampling",
+        [ Alcotest.test_case "head_keep" `Quick test_head_keep ] );
+      ( "profile",
+        [
+          Alcotest.test_case "self-time aggregation" `Quick
+            test_profile_self_time;
         ] );
       ( "report",
         [
           Alcotest.test_case "row aggregation" `Quick test_report_rows;
           Alcotest.test_case "trace counters" `Quick test_report_counters;
           Alcotest.test_case "malformed input" `Quick test_report_malformed;
+          Alcotest.test_case "metrics table quantile columns" `Quick
+            test_report_metrics_quantiles;
         ] );
       ( "provenance",
         [

@@ -257,6 +257,217 @@ let test_serve_lru_eviction () =
   let again, _ = Serve.handle_line server (req ~id:(Json.Int 3) matmul_src) in
   check_bool "evicted entry recomputed" true (field "cached" again = Json.Bool false)
 
+(* ------------------------------------------------------------------ *)
+(* Introspection: status, metrics, slow log, sampling                  *)
+(* ------------------------------------------------------------------ *)
+
+let obj_field path json =
+  List.fold_left (fun j name -> field name j) json path
+
+let to_float_exn json =
+  match Json.to_float json with
+  | Some x -> x
+  | None -> Alcotest.fail ("not a number: " ^ Json.to_string json)
+
+let test_serve_status_op () =
+  (* slow_ms 0: every request qualifies for the slow log. *)
+  let server = Serve.create ~domains:1 ~slow_ms:0. () in
+  ignore (Serve.handle_line server (req ~id:(Json.Int 1) matmul_src));
+  ignore (Serve.handle_line server (req ~id:(Json.Int 2) matmul_src));
+  let resp, stop = Serve.handle_line server "{\"op\": \"status\", \"id\": 3}" in
+  check_bool "no shutdown" false stop;
+  check_string "ok" "ok" (status resp);
+  check_bool "requests.ok counts the two searches" true
+    (obj_field [ "requests"; "ok" ] resp = Json.Int 2);
+  check_bool "requests.total agrees" true
+    (obj_field [ "requests"; "total" ] resp = Json.Int 2);
+  check_bool "uptime positive" true (to_float_exn (field "uptime_s" resp) >= 0.);
+  (* latency: both searches observed; quantiles non-zero and ordered *)
+  check_bool "latency count" true
+    (obj_field [ "latency_us"; "count" ] resp = Json.Int 2);
+  let p50 = to_float_exn (obj_field [ "latency_us"; "p50" ] resp) in
+  let p99 = to_float_exn (obj_field [ "latency_us"; "p99" ] resp) in
+  check_bool "p50 > 0" true (p50 > 0.);
+  check_bool "p99 >= p50" true (p99 >= p50);
+  (* the per-phase breakdown is present for all five engine phases *)
+  (match field "phases_us" resp with
+  | Json.Obj kvs ->
+    List.iter
+      (fun p ->
+        check_bool (p ^ " phase present") true (List.mem_assoc p kvs))
+      [ "expand"; "legality"; "tier0"; "exact"; "merge" ]
+  | _ -> Alcotest.fail "phases_us not an object");
+  (* cache: the repeat was answered from the LRU *)
+  check_bool "cache hits" true (obj_field [ "cache"; "hits" ] resp = Json.Int 1);
+  (* intern tables are reported with non-zero size *)
+  (match field "intern" resp with
+  | Json.List (_ :: _ as tables) ->
+    check_bool "intern sizes positive" true
+      (List.exists
+         (fun t ->
+           match Json.to_int (field "size" t) with
+           | Some n -> n > 0
+           | None -> false)
+         tables)
+  | _ -> Alcotest.fail "intern not a non-empty list");
+  (* slow log at threshold 0: both requests, newest first *)
+  match field "slow" resp with
+  | Json.List [ newest; oldest ] ->
+    check_bool "newest first" true (field "id" newest = Json.Int 2);
+    check_bool "oldest second" true (field "id" oldest = Json.Int 1);
+    check_bool "cache hit marked" true (field "cached" newest = Json.Bool true);
+    check_bool "fresh request carries phases" true
+      (match field "phases_us" oldest with
+      | Json.Obj kvs -> List.mem_assoc "exact" kvs
+      | _ -> false)
+  | v -> Alcotest.fail ("expected 2 slow records, got " ^ Json.to_string v)
+
+let test_serve_metrics_op () =
+  let server = Serve.create ~domains:1 () in
+  ignore (Serve.handle_line server (req matmul_src));
+  let resp, stop = Serve.handle_line server "{\"op\": \"metrics\", \"id\": 4}" in
+  check_bool "no shutdown" false stop;
+  check_string "ok" "ok" (status resp);
+  match Json.to_str (field "metrics" resp) with
+  | None -> Alcotest.fail "metrics not a string"
+  | Some text ->
+    List.iter
+      (fun sub ->
+        check_bool (Printf.sprintf "exposition carries %S" sub) true
+          (Builders.contains ~sub text))
+      [
+        "# TYPE serve_requests counter";
+        "serve_requests{status=\"ok\"} 1";
+        "# TYPE serve_request_us histogram";
+        "serve_request_us_bucket";
+        "le=\"+Inf\"";
+        "serve_request_us_count 1";
+        "engine_phase_us_bucket{phase=\"exact\"";
+      ]
+
+let test_serve_unknown_op () =
+  let server = Serve.create ~domains:1 () in
+  let resp, stop = Serve.handle_line server "{\"op\": \"nope\", \"id\": 5}" in
+  check_bool "no shutdown" false stop;
+  check_string "error" "error" (status resp);
+  match Json.to_str (field "error" resp) with
+  | Some msg ->
+    check_bool "names the op" true (Builders.contains ~sub:"nope" msg)
+  | None -> Alcotest.fail "error not a string"
+
+(* Satellite: the determinism guard. A cached repeat must replay the
+   original search payload byte-identically — only the [cached] flag and
+   the wall-clock [time_ms] envelope may differ, because no wall-clock
+   field is allowed into the fingerprint or the cached body. *)
+let test_serve_cached_replay_byte_identical () =
+  let server = Serve.create ~domains:1 () in
+  let strip json =
+    match json with
+    | Json.Obj kvs ->
+      Json.Obj
+        (List.filter (fun (k, _) -> k <> "cached" && k <> "time_ms") kvs)
+    | v -> v
+  in
+  let first, _ = Serve.handle_line server (req ~id:(Json.Int 1) matmul_src) in
+  let second, _ = Serve.handle_line server (req ~id:(Json.Int 1) matmul_src) in
+  check_bool "repeat hit the cache" true (field "cached" second = Json.Bool true);
+  check_string "search payload replays byte-identically"
+    (Json.to_string (strip first))
+    (Json.to_string (strip second))
+
+let test_serve_slow_log_threshold () =
+  (* A huge threshold keeps fast ok requests out of the slow log, but a
+     degraded request always enters it (tail-based keep). *)
+  let server = Serve.create ~domains:1 ~slow_ms:1e9 () in
+  ignore (Serve.handle_line server (req ~id:(Json.Int 1) matmul_src));
+  let st1, _ = Serve.handle_line server "{\"op\": \"status\"}" in
+  check_bool "fast ok request not in the slow log" true
+    (field "slow" st1 = Json.List []);
+  (* steps 3 so the fingerprint differs from the cached ok request above —
+     the budget itself is excluded from the cache key by design, so a
+     same-fingerprint budgeted repeat would be answered ok from the LRU. *)
+  ignore
+    (Serve.handle_line server
+       (req ~id:(Json.Int 2) ~steps:3 ~max_nodes:5 matmul_src));
+  let st2, _ = Serve.handle_line server "{\"op\": \"status\"}" in
+  match field "slow" st2 with
+  | Json.List [ r ] ->
+    check_bool "degraded request logged" true (field "id" r = Json.Int 2);
+    check_bool "status recorded" true
+      (field "status" r = Json.String "degraded")
+  | v -> Alcotest.fail ("expected 1 slow record, got " ^ Json.to_string v)
+
+(* Sampling decides trace *retention* only: at rate 0 an ok request's
+   span tree is dropped from the trace file; at rate 1 it is kept; and a
+   degraded request is kept even at rate 0. The search responses are
+   unaffected either way. *)
+let test_serve_sampling_retention () =
+  let with_server rate f =
+    let trace = Filename.temp_file "serve_trace" ".jsonl" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove trace with Sys_error _ -> ())
+      (fun () ->
+        f (Serve.create ~domains:1 ~trace_out:trace ~sample_rate:rate ()) trace)
+  in
+  let trace_names path =
+    String.split_on_char '\n' (In_channel.with_open_text path In_channel.input_all)
+    |> List.filter_map (fun l ->
+           if String.trim l = "" then None
+           else
+             match Json.of_string l with
+             | Ok j -> Json.to_str (field "name" j)
+             | Error _ -> None)
+  in
+  let kept, resp_kept =
+    with_server 1. (fun server trace ->
+        let resp, _ = Serve.handle_line server (req ~id:(Json.Int 1) matmul_src) in
+        (trace_names trace, resp))
+  in
+  check_bool "rate 1 retains the request span" true
+    (List.mem "serve.request" kept);
+  let dropped, resp_dropped =
+    with_server 0. (fun server trace ->
+        let resp, _ = Serve.handle_line server (req ~id:(Json.Int 1) matmul_src) in
+        (trace_names trace, resp))
+  in
+  check_bool "rate 0 drops the ok request's spans" true (dropped = []);
+  (* identical answers modulo the wall-clock envelope *)
+  let strip json =
+    match json with
+    | Json.Obj kvs -> Json.Obj (List.filter (fun (k, _) -> k <> "time_ms") kvs)
+    | v -> v
+  in
+  check_string "sampling does not change the response"
+    (Json.to_string (strip resp_kept))
+    (Json.to_string (strip resp_dropped));
+  let tail_kept =
+    with_server 0. (fun server trace ->
+        ignore
+          (Serve.handle_line server
+             (req ~id:(Json.Int 2) ~max_nodes:5 matmul_src));
+        trace_names trace)
+  in
+  check_bool "degraded request retained even at rate 0" true
+    (List.mem "serve.request" tail_kept)
+
+(* The acceptance pin at unit scale: on a single-domain server the four
+   attributed evaluation phases (expand / legality / tier0 / exact)
+   account for most of the engine's own wall time. Bounds are loose —
+   CI enforces the 20% window on a warm daemon. *)
+let test_serve_phase_sum_vs_total () =
+  let server = Serve.create ~domains:1 () in
+  ignore (Serve.handle_line server (req ~id:(Json.Int 1) ~steps:2 matmul_src));
+  let st, _ = Serve.handle_line server "{\"op\": \"status\"}" in
+  let phase p = to_float_exn (obj_field [ "phases_us"; p ] st) in
+  let sum4 = phase "expand" +. phase "legality" +. phase "tier0" +. phase "exact" in
+  let total = to_float_exn (obj_field [ "search_us"; "total" ] st) in
+  check_bool "search total positive" true (total > 0.);
+  check_bool
+    (Printf.sprintf "phase sum (%.0fus) within [0.5, 1.05] of total (%.0fus)"
+       sum4 total)
+    true
+    (sum4 >= 0.5 *. total && sum4 <= 1.05 *. total)
+
 let test_serve_shutdown () =
   let server = Serve.create ~domains:1 () in
   let resp, stop = Serve.handle_line server "{\"op\": \"shutdown\", \"id\": 9}" in
@@ -295,5 +506,21 @@ let () =
             test_serve_lru_eviction;
           Alcotest.test_case "shutdown request stops the loop" `Quick
             test_serve_shutdown;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "status op snapshot" `Quick test_serve_status_op;
+          Alcotest.test_case "metrics op exposition" `Quick
+            test_serve_metrics_op;
+          Alcotest.test_case "unknown op is an error" `Quick
+            test_serve_unknown_op;
+          Alcotest.test_case "cached replay is byte-identical" `Quick
+            test_serve_cached_replay_byte_identical;
+          Alcotest.test_case "slow-log threshold" `Quick
+            test_serve_slow_log_threshold;
+          Alcotest.test_case "sampling retention" `Quick
+            test_serve_sampling_retention;
+          Alcotest.test_case "phase sum tracks search total" `Quick
+            test_serve_phase_sum_vs_total;
         ] );
     ]
