@@ -954,10 +954,11 @@ let report_cmd =
 
 let serve_cmd =
   let run socket domains deadline_ms max_cache metrics_out trace_out slow_ms
-      sample_rate =
+      sample_rate workers queue_depth =
     let server =
       Itf_serve.Serve.create ?domains ?default_deadline_ms:deadline_ms
-        ~max_cache ?metrics_out ?trace_out ~slow_ms ~sample_rate ()
+        ~max_cache ?metrics_out ?trace_out ~slow_ms ~sample_rate ~workers
+        ~queue_depth ()
     in
     Itf_serve.Serve.run ?socket server;
     0
@@ -1035,16 +1036,41 @@ let serve_cmd =
              fingerprint, so reruns retain identical traces; slow and \
              non-ok requests are always retained regardless of R.")
   in
+  let workers =
+    Arg.(
+      value
+      & opt int Itf_serve.Serve.default_workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Number of requests served concurrently (worker domains from \
+             the shared pool). With 1 (the default) responses come back \
+             in request order; above 1 they complete out of order under \
+             load and clients correlate by \"id\". Payloads are \
+             byte-identical either way.")
+  in
+  let queue_depth =
+    Arg.(
+      value
+      & opt int Itf_serve.Serve.default_queue_depth
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity: searches arriving while N are \
+             already waiting are shed immediately with status \
+             \"overloaded\" instead of stalling. Introspection ops are \
+             never shed.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a long-lived search daemon: one JSON request per line on \
           stdin (and optionally a Unix socket), one JSON response per \
-          line on stdout. Consecutive requests share the process-wide \
+          line on stdout. Requests are scheduled onto a bounded pool of \
+          worker domains (--workers) behind an admission queue \
+          (--queue-depth); consecutive requests share the process-wide \
           memo tables, so repeated searches are answered warm.")
     Term.(
       const run $ socket $ domains $ deadline_ms $ max_cache $ metrics_out
-      $ trace_out $ slow_ms $ sample_rate)
+      $ trace_out $ slow_ms $ sample_rate $ workers $ queue_depth)
 
 let () =
   let doc = "iteration-reordering loop transformation framework (PLDI'92 reproduction)" in

@@ -2,7 +2,7 @@ type result = {
   nest : Itf_ir.Nest.t;
   vectors : Itf_dep.Depvec.t list;
   stages : Legality.stage list;
-  mutable interned : int;
+  interned : int Atomic.t;
 }
 
 exception Illegal of Legality.verdict
@@ -10,7 +10,7 @@ exception Illegal of Legality.verdict
 let apply ?count ?vectors nest seq =
   match Legality.check ?count ?vectors nest seq with
   | Legality.Legal { nest; vectors; stages } ->
-    Ok { nest; vectors; stages; interned = -1 }
+    Ok { nest; vectors; stages; interned = Atomic.make (-1) }
   | verdict -> Error verdict
 
 let apply_exn ?vectors nest seq =
@@ -18,13 +18,19 @@ let apply_exn ?vectors nest seq =
   | Ok r -> r
   | Error verdict -> raise (Illegal verdict)
 
-(* Both writers race only with writers of the same deterministic value
-   (interning is canonical), so the unsynchronized cache is benign. *)
+(* Publish order: the nest is fully interned (all its subterms are in the
+   shared tables) before the id is stored, and the [Atomic.set] is a
+   release — so any thread whose [Atomic.get] observes [id >= 0] also
+   observes the completed interning it names. Racing first callers both
+   intern (idempotent — interning is canonical, both compute the same id)
+   and both stores write the same value, so last-write-wins is exact, not
+   merely benign. *)
 let nest_id r =
-  if r.interned >= 0 then r.interned
+  let id = Atomic.get r.interned in
+  if id >= 0 then id
   else begin
     let id = Itf_ir.Intern.nest_id r.nest in
-    r.interned <- id;
+    Atomic.set r.interned id;
     id
   end
 
@@ -43,5 +49,5 @@ let extend = Legality.extend
 let finish state =
   match Legality.state_verdict state with
   | Legality.Legal { nest; vectors; stages } ->
-    Ok { nest; vectors; stages; interned = -1 }
+    Ok { nest; vectors; stages; interned = Atomic.make (-1) }
   | verdict -> Error verdict

@@ -22,9 +22,12 @@ type result = {
   nest : Itf_ir.Nest.t;  (** the transformed nest, inits included *)
   vectors : Itf_dep.Depvec.t list;  (** its dependence vectors, by mapping *)
   stages : Legality.stage list;  (** intermediate states, for inspection *)
-  mutable interned : int;
+  interned : int Atomic.t;
       (** cached {!Itf_ir.Intern.nest_id} of [nest]; [-1] until first
-          {!nest_id} call. Managed by {!nest_id} — do not write. *)
+          {!nest_id} call. Managed by {!nest_id} — do not write. Atomic
+          so the publish order is explicit under concurrent serve
+          workers: the nest is interned before the id is stored, and all
+          racing writers store the same canonical id. *)
 }
 
 val apply :
@@ -49,8 +52,10 @@ val nest_id : result -> int
 (** {!Itf_ir.Intern.nest_id} of the transformed nest, computed once per
     result and cached in [interned] — memoized objectives and the tier-0
     estimator both probe the same result, and the intern walk would
-    otherwise dominate each warm probe. Safe to call from any domain (the
-    cached value is deterministic, so racing writers agree). *)
+    otherwise dominate each warm probe. Safe to call from any domain: the
+    cache is an [Atomic], racing first callers compute the same canonical
+    id, and the release store orders the interning before the id's
+    publication. *)
 
 val map_vectors : Sequence.t -> Itf_dep.Depvec.t list -> Itf_dep.Depvec.t list
 (** Dependence-vector image of a whole sequence (no bounds checks). *)

@@ -1,9 +1,13 @@
 (** Hash-consing tables and integer-keyed memoization.
 
-    Append-only, mutex-protected tables shared across domains. Interning a
-    term returns a canonical physically-shared representative plus a dense
-    integer id, making [hash]/[equal] on interned terms O(1) integer
-    operations. Ids are stable for the life of the process.
+    Append-only tables shared across domains and safe for fully
+    concurrent use: internally each table is sharded into independently
+    locked bucket arrays with a lock-free read fast path, so any thread
+    on any domain may intern or probe at any time — there is no
+    coordinator-thread restriction. Stats are exact (atomic counters).
+    Interning a term returns a canonical physically-shared representative
+    plus a dense integer id, making [hash]/[equal] on interned terms O(1)
+    integer operations. Ids are stable for the life of the process.
 
     Ids are NOT a usable total order: they depend on intern order, which
     depends on evaluation order, so any tie-break built on them would make
@@ -34,8 +38,9 @@ module type HashedType = sig
 end
 
 (** Key-indexed interning: the canonical value is built from the key (and
-    its fresh id) on first sight, under the table lock — builders must be
-    cheap and must not re-enter the same table. *)
+    its fresh id) on first sight, under the key's shard lock — builders
+    must be cheap and must not re-enter the same table (intern children
+    first and carry their ids in the key). *)
 module Keyed (H : HashedType) : sig
   type 'v t
 
@@ -58,13 +63,14 @@ module Make (H : HashedType) : sig
 end
 
 (** Memoization of a pure function by key. The compute callback runs
-    outside the lock (objective evaluations are long); racing computations
+    outside any lock (objective evaluations are long); racing computations
     of one key are benign because the function is deterministic.
 
-    Memo tables are size-capped: when an insert would grow the table past
-    [max_size] (default {!Memo.default_max_size}), the whole table is
-    flushed and the eviction is counted in {!stats}. Flushing a memo of a
-    pure function never changes results — later probes recompute — so
+    Memo tables are size-capped: [max_size] (default
+    {!Memo.default_max_size}) is enforced per shard, and when an insert
+    would grow a shard past its [max_size / 16] slice that shard is
+    flushed whole, the evictions counted in {!stats}. Flushing a memo of
+    a pure function never changes results — later probes recompute — so
     capped and uncapped runs are byte-identical apart from timing. *)
 module Memo (H : HashedType) : sig
   type 'v t

@@ -6,7 +6,11 @@
    representative of a term plus its dense intern id. Keys are flat int
    lists over the ids of already-interned children — one table probe per
    node, no recursive structural hashing past the first interning of a
-   term. *)
+   term. Children are always interned before their parent, so a builder
+   never re-enters the table it runs under — exactly the recursion scheme
+   {!Itf_mat.Hashcons} supports — and the sharded tables make every
+   function here safe to call from any thread on any domain
+   concurrently. *)
 
 module HC = Itf_mat.Hashcons
 module Str = HC.Make (struct

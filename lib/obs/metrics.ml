@@ -114,6 +114,17 @@ let counter_value c = Atomic.get c
 let set g x = Atomic.set g x
 let gauge_value g = Atomic.get g
 
+(* CAS loop: concurrent adds from any number of domains all land (unlike
+   [set], which is last-write-wins). This is what lets a gauge track a
+   level — queue depth, busy workers — maintained by racing +1/-1
+   updates from the serve scheduler. *)
+let gauge_add g by =
+  let rec go () =
+    let cur = Atomic.get g in
+    if not (Atomic.compare_and_set g cur (cur +. by)) then go ()
+  in
+  go ()
+
 let observe h x =
   let n = Array.length h.buckets in
   let rec go i = if i >= n then n else if x <= h.buckets.(i) then i else go (i + 1) in

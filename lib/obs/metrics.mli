@@ -10,7 +10,9 @@
     (counter adds, histogram bucket increments, the fixed-point histogram
     sum), so totals are deterministic regardless of domain scheduling;
     handle {e creation} takes a registry lock and is safe from any domain.
-    Gauges are last-write-wins and should be set from one domain.
+    Gauge {!set} is last-write-wins (absolute values should come from one
+    writer at a time); {!gauge_add} is a CAS loop, safe for concurrent
+    +/- level tracking from any domain.
 
     {b Determinism}: a histogram stores integer bucket counts plus an
     integer fixed-point sum (thousandths of a unit) — never a float
@@ -56,6 +58,12 @@ val counter_value : counter -> int
 
 val set : gauge -> float -> unit
 val gauge_value : gauge -> float
+
+val gauge_add : gauge -> float -> unit
+(** [gauge_add g by] atomically adds [by] (a CAS loop, so concurrent adds
+    from different domains all land — unlike {!set}, which is
+    last-write-wins). Use for level gauges maintained by +1/-1 updates,
+    e.g. [serve.queue.depth] and [serve.workers.busy]. *)
 
 val observe : histogram -> float -> unit
 (** Increment the first bucket whose upper bound is [>= x] (the overflow

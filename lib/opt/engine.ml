@@ -134,6 +134,67 @@ let order_structural a b =
   let c = Sequence.compare a.ccanon b.ccanon in
   if c <> 0 then c else Sequence.compare a.cseq b.cseq
 
+(* Per-search mutable state — the search context. One [sctx] is created
+   at the top of every [search] call and never escapes it: the engine
+   keeps NO module-level mutable state, so any number of searches may run
+   concurrently (one per serve worker) as long as each holds its own
+   context. The shared structures a search reaches from here — the intern
+   tables, the objective/canonicalization memos, the metrics registry,
+   the domain pool — are each concurrency-safe on their own terms
+   (sharded tables, atomic instruments; DESIGN.md §13). The cross-step
+   candidate cache is likewise per-search, created alongside the root
+   node: concurrent requests share warm state through the process-wide
+   memos, never through engine internals. *)
+type sctx = {
+  t_start : float;  (* budget clock origin: wall clock at search start *)
+  mutable explored : int;
+  mutable duplicates : int;
+  mutable legality_hits : int;
+  mutable score_hits : int;
+  mutable illegal : int;
+  mutable applications : int;
+  mutable saved : int;
+  mutable objective_evals : int;
+  mutable tier0_evals : int;
+  mutable tier0_pruned : int;
+  (* Phase timers (seconds). With one domain the finer-grained sums
+     partition evaluate_time (up to batch machinery); with several they
+     are CPU time, not wall. *)
+  mutable expand_time : float;
+  mutable evaluate_time : float;
+  mutable legality_time : float;
+  mutable tier0_time : float;
+  mutable exact_time : float;
+  mutable merge_time : float;
+  mutable cut : string option;  (* first tripped budget checkpoint *)
+  mutable rejections : rejection list;  (* provenance, newest first *)
+  mutable decisions : decision list;  (* tier-0 provenance, newest first *)
+}
+
+let fresh_sctx () =
+  {
+    t_start = Unix.gettimeofday ();
+    explored = 0;
+    duplicates = 0;
+    legality_hits = 0;
+    score_hits = 0;
+    illegal = 0;
+    applications = 0;
+    saved = 0;
+    objective_evals = 0;
+    tier0_evals = 0;
+    tier0_pruned = 0;
+    expand_time = 0.;
+    evaluate_time = 0.;
+    legality_time = 0.;
+    tier0_time = 0.;
+    exact_time = 0.;
+    merge_time = 0.;
+    cut = None;
+    rejections = [];
+    decisions = [];
+  }
+
 (* One single-tier candidate evaluation: extend the parent prefix by one
    template, run the final dependence test, score. Runs on worker domains
    — all mutable state ([count]) is local, the result and its rejection
@@ -208,8 +269,9 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   (* Canonicalize one candidate and produce its cache key. Interned:
      {!Sequence.reduce_memo} memoizes the peephole reduction itself by
      sequence id and returns the canonical's id for O(1) cache probes.
-     All interning happens here, on the sequential coordinator thread —
-     worker domains never touch the intern tables. *)
+     Within one search all interning happens here, on the search's own
+     expand/merge thread; the tables themselves are sharded and safe for
+     the concurrent searches of other serve workers. *)
   let canon_key =
     if intern then fun cand ->
       let c, cid = Sequence.reduce_memo cand in
@@ -234,22 +296,22 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                "legality.rejections"))
         (cause_labels cause)
   in
-  let rejections = ref [] in
+  let cx = fresh_sctx () in
   let reject cand cause =
     reject_counter cause;
-    if provenance then rejections := { candidate = cand; cause } :: !rejections
+    if provenance then
+      cx.rejections <- { candidate = cand; cause } :: cx.rejections
   in
-  let decisions = ref [] in
   let decide cand (est : Costmodel.estimate) verdict =
     if provenance then
-      decisions :=
+      cx.decisions <-
         {
           candidate = cand;
           tier0_score = est.Costmodel.score;
           tier0_bound = est.Costmodel.bound;
           verdict;
         }
-        :: !decisions
+        :: cx.decisions
   in
   (* [domains] is deliberately NOT a span attribute: the span tree must be
      identical across domain counts (it lives in the [engine.domains]
@@ -257,50 +319,28 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   Tracer.span tracer "engine.search"
     ~attrs:(fun () -> [ ("beam", Int beam); ("steps", Int steps) ])
   @@ fun () ->
-  let t_start = Unix.gettimeofday () in
-  let explored = ref 0 in
-  let duplicates = ref 0 in
-  let legality_hits = ref 0 in
-  let score_hits = ref 0 in
-  let illegal = ref 0 in
-  let applications = ref 0 in
-  let saved = ref 0 in
-  let objective_evals = ref 0 in
-  let tier0_evals = ref 0 in
-  let tier0_pruned = ref 0 in
-  let expand_time = ref 0. in
-  let evaluate_time = ref 0. in
-  (* Finer-grained phase attribution inside the evaluation batches:
-     per-candidate durations measured on the worker, summed here in input
-     order. With one domain the three sums partition [evaluate_time] (up
-     to batch machinery); with several they are CPU time, not wall. *)
-  let legality_time = ref 0. in
-  let tier0_time = ref 0. in
-  let exact_time = ref 0. in
-  let merge_time = ref 0. in
   (* Anytime budget: consulted only at batch boundaries (step starts, and
      between a step's evaluation batches), never inside one, so a given
      cut point always yields the same incumbent — results are a
      deterministic function of the cut point, and a search that never
      trips a checkpoint is bit-identical to an unbudgeted one. Once set,
-     [cut] short-circuits every later checkpoint. *)
-  let cut = ref None in
+     [cx.cut] short-circuits every later checkpoint. *)
   let over_budget site =
-    (match (!cut, budget) with
+    (match (cx.cut, budget) with
     | Some _, _ | _, None -> ()
     | None, Some b ->
       let timed_out =
         match b.deadline_s with
-        | Some d -> Unix.gettimeofday () -. t_start >= d
+        | Some d -> Unix.gettimeofday () -. cx.t_start >= d
         | None -> false
       in
       let nodes_out =
-        match b.max_nodes with Some n -> !explored >= n | None -> false
+        match b.max_nodes with Some n -> cx.explored >= n | None -> false
       in
       if timed_out || nodes_out then
-        cut :=
+        cx.cut <-
           Some (site ^ ":" ^ if timed_out then "deadline" else "nodes"));
-    !cut <> None
+    cx.cut <> None
   in
   (* One persistent process-wide pool, grown on demand, instead of forking
      domains per search: spawn cost rivals a whole small search. Purely
@@ -316,21 +356,21 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
   in
   let vectors = Itf_dep.Analysis.vectors nest in
   let root =
-    incr explored;
+    cx.explored <- cx.explored + 1;
     let _, root_key = canon_key [] in
     let t_leg = Unix.gettimeofday () in
     let st = Framework.start ~vectors nest in
     let finished = Framework.finish st in
-    legality_time := !legality_time +. (Unix.gettimeofday () -. t_leg);
+    cx.legality_time <- cx.legality_time +. (Unix.gettimeofday () -. t_leg);
     match finished with
     | Error _ -> None
     | Ok result -> (
       match tier0_fn with
       | Some t0 when tier0_only ->
-        incr tier0_evals;
+        cx.tier0_evals <- cx.tier0_evals + 1;
         let t_est = Unix.gettimeofday () in
         let est = t0 result in
-        tier0_time := !tier0_time +. (Unix.gettimeofday () -. t_est);
+        cx.tier0_time <- cx.tier0_time +. (Unix.gettimeofday () -. t_est);
         Some
           {
             seq = [];
@@ -341,7 +381,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
             score = est.Costmodel.score;
           }
       | _ ->
-        incr objective_evals;
+        cx.objective_evals <- cx.objective_evals + 1;
         let t_obj = Unix.gettimeofday () in
         let scored =
           match
@@ -353,7 +393,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
           | score -> Some score
           | exception _ -> None
         in
-        exact_time := !exact_time +. (Unix.gettimeofday () -. t_obj);
+        cx.exact_time <- cx.exact_time +. (Unix.gettimeofday () -. t_obj);
         match scored with
         | Some score when not (Float.is_nan score) ->
           Some
@@ -416,27 +456,28 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                       (fun t ->
                         let cand = parent.seq @ [ t ] in
                         let canon, key = canon_key cand in
-                        if KeyTbl.mem seen key then incr duplicates
+                        if KeyTbl.mem seen key then
+                          cx.duplicates <- cx.duplicates + 1
                         else begin
                           KeyTbl.add seen key ();
-                          incr explored;
+                          cx.explored <- cx.explored + 1;
                           match KeyTbl.find_opt cache key with
                           | Some (Scored cached) ->
-                            incr legality_hits;
-                            incr score_hits;
-                            saved := !saved + List.length cand;
+                            cx.legality_hits <- cx.legality_hits + 1;
+                            cx.score_hits <- cx.score_hits + 1;
+                            cx.saved <- cx.saved + List.length cand;
                             hits :=
                               { cached with seq = cand; canon; key } :: !hits
                           | Some (Checked c) ->
-                            incr legality_hits;
-                            saved := !saved + List.length cand;
+                            cx.legality_hits <- cx.legality_hits + 1;
+                            cx.saved <- cx.saved + List.length cand;
                             checked_hits :=
                               { c with cseq = cand; ccanon = canon; ckey = key }
                               :: !checked_hits
                           | Some (Failed cause) ->
-                            incr legality_hits;
-                            incr illegal;
-                            saved := !saved + List.length cand;
+                            cx.legality_hits <- cx.legality_hits + 1;
+                            cx.illegal <- cx.illegal + 1;
+                            cx.saved <- cx.saved + List.length cand;
                             reject cand cause
                           | None ->
                             misses := (parent, t, cand, canon, key) :: !misses
@@ -453,7 +494,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               ("misses", Int (Array.length misses));
             ];
           let t1 = Unix.gettimeofday () in
-          expand_time := !expand_time +. (t1 -. t0);
+          cx.expand_time <- cx.expand_time +. (t1 -. t0);
           (* Evaluate the cache misses across the domain pool. The pool
              map preserves input order and (in the single-tier path) each
              task records into its own forked tracer, joined back in input
@@ -493,18 +534,18 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     results)
               in
               let t2 = Unix.gettimeofday () in
-              evaluate_time := !evaluate_time +. (t2 -. t1);
+              cx.evaluate_time <- cx.evaluate_time +. (t2 -. t1);
               (* Merge in input order: fold counters, fill the cache,
                  record rejection provenance. *)
               let fresh = ref [] in
               Array.iteri
                 (fun i (r, apps, obj_ran, leg_s, obj_s) ->
                   let _, _, cand, canon, key = misses.(i) in
-                  applications := !applications + apps;
-                  saved := !saved + max 0 (List.length cand - apps);
-                  legality_time := !legality_time +. leg_s;
-                  exact_time := !exact_time +. obj_s;
-                  if obj_ran then incr objective_evals;
+                  cx.applications <- cx.applications + apps;
+                  cx.saved <- cx.saved + max 0 (List.length cand - apps);
+                  cx.legality_time <- cx.legality_time +. leg_s;
+                  cx.exact_time <- cx.exact_time +. obj_s;
+                  if obj_ran then cx.objective_evals <- cx.objective_evals + 1;
                   match r with
                   | Ok (st, result, score) ->
                     let node =
@@ -513,7 +554,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     KeyTbl.replace cache key (Scored node);
                     fresh := node :: !fresh
                   | Error cause ->
-                    incr illegal;
+                    cx.illegal <- cx.illegal + 1;
                     KeyTbl.replace cache key (Failed cause);
                     reject cand cause)
                 results;
@@ -535,13 +576,13 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
               Array.iteri
                 (fun i (r, apps, leg_s, t0_s) ->
                   let _, _, cand, canon, key = misses.(i) in
-                  applications := !applications + apps;
-                  saved := !saved + max 0 (List.length cand - apps);
-                  legality_time := !legality_time +. leg_s;
-                  tier0_time := !tier0_time +. t0_s;
+                  cx.applications <- cx.applications + apps;
+                  cx.saved <- cx.saved + max 0 (List.length cand - apps);
+                  cx.legality_time <- cx.legality_time +. leg_s;
+                  cx.tier0_time <- cx.tier0_time +. t0_s;
                   match r with
                   | Ok (st, result, est) ->
-                    incr tier0_evals;
+                    cx.tier0_evals <- cx.tier0_evals + 1;
                     pending :=
                       {
                         cseq = cand;
@@ -553,7 +594,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                       }
                       :: !pending
                   | Error cause ->
-                    incr illegal;
+                    cx.illegal <- cx.illegal + 1;
                     KeyTbl.replace cache key (Failed cause);
                     reject cand cause)
                 results;
@@ -584,7 +625,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                   then begin
                     (* exact(c) and exact(every descendant) >= bound >
                        incumbent: neither can ever win. *)
-                    incr tier0_pruned;
+                    cx.tier0_pruned <- cx.tier0_pruned + 1;
                     decide c.cseq c.cest Bound_pruned;
                     KeyTbl.replace cache c.ckey (Checked c)
                   end
@@ -622,7 +663,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     survivors := c :: !survivors
                   end
                   else begin
-                    incr tier0_pruned;
+                    cx.tier0_pruned <- cx.tier0_pruned + 1;
                     decide c.cseq c.cest Screened_out;
                     KeyTbl.replace cache c.ckey (Checked c)
                   end)
@@ -679,12 +720,13 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                         survivors results)
               in
               let t2 = Unix.gettimeofday () in
-              evaluate_time := !evaluate_time +. (t2 -. t1);
+              cx.evaluate_time <- cx.evaluate_time +. (t2 -. t1);
               let fresh = ref [] in
               Array.iter
                 (fun (c, r, obj_s) ->
-                  exact_time := !exact_time +. obj_s;
-                  if not tier0_only then incr objective_evals;
+                  cx.exact_time <- cx.exact_time +. obj_s;
+                  if not tier0_only then
+                    cx.objective_evals <- cx.objective_evals + 1;
                   match r with
                   | Ok score ->
                     let node =
@@ -700,7 +742,7 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                     KeyTbl.replace cache c.ckey (Scored node);
                     fresh := node :: !fresh
                   | Error cause ->
-                    incr illegal;
+                    cx.illegal <- cx.illegal + 1;
                     KeyTbl.replace cache c.ckey (Failed cause);
                     reject c.cseq cause)
                 scored;
@@ -730,31 +772,31 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
                 frontier := top;
                 bests := top @ !bests);
             let t3 = Unix.gettimeofday () in
-            merge_time := !merge_time +. (t3 -. t2);
+            cx.merge_time <- cx.merge_time +. (t3 -. t2);
             enforce_cache_cap ())
     done;
     let winner = List.hd (List.sort order !bests) in
-    let total = Unix.gettimeofday () -. t_start in
+    let total = Unix.gettimeofday () -. cx.t_start in
     let stats =
       {
-        Stats.nodes_explored = !explored;
-        duplicates_pruned = !duplicates;
-        legality_cache_hits = !legality_hits;
-        score_cache_hits = !score_hits;
-        illegal = !illegal;
-        template_applications = !applications;
-        template_applications_saved = !saved;
-        objective_evaluations = !objective_evals;
-        tier0_evaluations = !tier0_evals;
-        tier0_pruned = !tier0_pruned;
+        Stats.nodes_explored = cx.explored;
+        duplicates_pruned = cx.duplicates;
+        legality_cache_hits = cx.legality_hits;
+        score_cache_hits = cx.score_hits;
+        illegal = cx.illegal;
+        template_applications = cx.applications;
+        template_applications_saved = cx.saved;
+        objective_evaluations = cx.objective_evals;
+        tier0_evaluations = cx.tier0_evals;
+        tier0_pruned = cx.tier0_pruned;
         domains;
         work_threshold = (if domains > 1 then Pool.default_threshold else 0);
-        expand_time_s = !expand_time;
-        evaluate_time_s = !evaluate_time;
-        legality_time_s = !legality_time;
-        tier0_time_s = !tier0_time;
-        exact_time_s = !exact_time;
-        merge_time_s = !merge_time;
+        expand_time_s = cx.expand_time;
+        evaluate_time_s = cx.evaluate_time;
+        legality_time_s = cx.legality_time;
+        tier0_time_s = cx.tier0_time;
+        exact_time_s = cx.exact_time;
+        merge_time_s = cx.merge_time;
         total_time_s = total;
       }
     in
@@ -798,9 +840,9 @@ let search ?(beam = 6) ?(steps = 3) ?block_sizes ?domains
         score = winner.score;
         stats;
         completion =
-          (match !cut with
+          (match cx.cut with
           | None -> Complete
           | Some site -> Degraded { cut = site });
-        rejections = List.rev !rejections;
-        decisions = List.rev !decisions;
+        rejections = List.rev cx.rejections;
+        decisions = List.rev cx.decisions;
       }

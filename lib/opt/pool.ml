@@ -61,6 +61,16 @@ let grow t workers =
   t.workers <- fresh @ t.workers;
   Mutex.unlock t.mutex
 
+(* One fire-and-forget job. Unlike [map], nothing waits on it here — the
+   caller owns completion signalling (the serve scheduler chains jobs and
+   counts them itself). The job runs on a worker domain verbatim, so it
+   MUST NOT raise: an escaping exception kills the worker. *)
+let submit t job =
+  Mutex.lock t.mutex;
+  Queue.push job t.jobs;
+  Condition.signal t.work;
+  Mutex.unlock t.mutex
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.shutdown <- true;

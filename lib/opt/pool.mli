@@ -33,6 +33,13 @@ val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     such exception (in index order) is re-raised after all elements
     finish. *)
 
+val submit : t -> (unit -> unit) -> unit
+(** [submit t job] enqueues one fire-and-forget job for a worker domain.
+    Returns immediately; the caller owns completion signalling. The pool
+    must have at least one worker ([size t >= 1]) or the job never runs.
+    [job] must not raise — an escaping exception kills the worker domain.
+    Used by the serve scheduler to run requests on the shared pool. *)
+
 val map_auto : ?threshold:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** As {!map}, but batches smaller than [threshold] (default
     {!default_threshold}) run sequentially on the calling thread — the

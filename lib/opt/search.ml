@@ -237,10 +237,16 @@ let mcount metrics name n =
    deterministic and the synthetic environments are rebuilt identically
    per evaluation. Keying on an instantiation fingerprint plus the
    interned nest id therefore returns bit-identical floats while skipping
-   the simulation entirely — including across engines and repeated
-   searches over the same kernel, where most candidates recur. The
-   compute runs outside the table lock ({!Itf_mat.Hashcons.Memo}), so
-   worker domains never serialize on a miss. *)
+   the simulation entirely — including across engines, repeated searches
+   over the same kernel, and the {e concurrent} searches of different
+   serve workers, where most candidates recur. The tables are sharded
+   ({!Itf_mat.Hashcons.Memo}) with the compute outside any lock, so
+   concurrent searches neither serialize on a miss nor corrupt the table
+   on racing stores — whichever racer's (identical) float lands, every
+   later probe replays it bit-for-bit, which is what keeps warm answers
+   byte-identical to cold ones. Everything else in this module is either
+   immutable or per-instantiation state, so the objectives are fully
+   reentrant. *)
 module OMemo = Itf_mat.Hashcons.Memo (Itf_mat.Hashcons.Ints_key)
 
 let memsim_memo : float OMemo.t = OMemo.create "opt.obj.memsim"

@@ -1,3 +1,9 @@
+(* One search's statistics. The record is immutable and built per search
+   from the engine's search context (engine.ml, [sctx]) — there is no
+   shared mutable state here, so concurrent searches cannot corrupt each
+   other's stats. [record] publishes into the metrics registry with
+   atomic, commutative instrument updates only, so concurrent recording
+   from several serve workers yields exact totals. *)
 type t = {
   nodes_explored : int;
   duplicates_pruned : int;

@@ -1,37 +1,60 @@
 (* loopt serve — a long-running search service over JSONL.
 
    One request per line on stdin (responses on stdout) and, optionally, on
-   a Unix-domain socket with one thread per connection. All parsing and
-   searching is serialized through a single server lock: the hash-cons
-   intern tables and the engine's coordinator are single-writer by design
-   (DESIGN.md §10), and the whole point of the daemon is that consecutive
-   requests share those process-wide tables — the objective memos, the
-   canonicalization memo and the intern tables stay warm across requests,
-   so a repeated search costs a table probe per candidate instead of a
-   simulation. On top of that sits a bounded LRU response cache keyed on
-   the request fingerprint (interned nest id + search configuration, id
-   and budget excluded): an identical request is answered without running
-   the engine at all. Only [Complete] outcomes are cached — a degraded
-   answer is an artifact of one request's deadline, not a fact about the
-   nest — so cache hits never launder a cut search into an "ok".
+   a Unix-domain socket with one thread per connection. Requests no longer
+   serialize through a global lock: a real scheduler (below) admits them
+   into a bounded FIFO queue and a fixed-size pool of worker domains runs
+   up to [workers] searches truly in parallel. What makes that safe is the
+   layering underneath — the hash-cons intern tables and objective memos
+   are sharded and safe for concurrent interning (Itf_mat.Hashcons), the
+   engine carries all per-search mutable state in a search context
+   (Engine.sctx), and the metrics registry is atomic — and what keeps it
+   {e honest} is determinism: the engine's orders are structural and the
+   memoized objectives return bit-identical floats no matter which worker
+   warmed them, so the payload for a given request is byte-identical
+   whether the server runs one worker or eight, cold or warm (DESIGN.md
+   §13). The point of the daemon is unchanged: consecutive requests share
+   the process-wide tables, so a repeated search costs a table probe per
+   candidate instead of a simulation. On top sits a bounded LRU response
+   cache keyed on the request fingerprint (interned nest id + search
+   configuration, id and budget excluded): an identical request is
+   answered without running the engine at all. Only [Complete] outcomes
+   are cached — a degraded answer is an artifact of one request's
+   deadline, not a fact about the nest — so cache hits never launder a
+   cut search into an "ok".
 
-   Live introspection (DESIGN.md §12): every search request is recorded
-   in a bounded ring of request records (status, wall time, per-phase
-   breakdown from the engine stats, cache hit), its latency observed into
-   a [serve.request_us] histogram; [{"op": "status"}] snapshots uptime,
-   request counters, latency quantiles, the phase breakdown, cache and
-   intern-table health, and the recent slow requests, and
-   [{"op": "metrics"}] exposes the whole registry as Prometheus text.
-   Span traces are captured per request and retained by a deterministic
-   head-sampling decision on the fingerprint ([--sample-rate]) with a
-   tail-based override: slow (>= [--slow-ms]), degraded and error
-   requests keep their span tree even when head-sampled out. *)
+   The scheduler's contract under load: when [queue_depth] searches are
+   already waiting, a new search is {e shed} with [status = "overloaded"]
+   instead of stalling the client; a request whose deadline expires while
+   it waits in the queue returns [status = "degraded"] with
+   [cut = "queue:deadline"] without running the engine at all (and is
+   never cached); introspection ops are exempt from shedding — they are
+   cheap, bounded, and exactly what an operator needs during overload.
+   Per-request isolation: a malformed request is answered inline by the
+   submitting thread and an engine exception becomes that request's
+   error response — neither can take down a worker or block the queue.
+
+   Live introspection (DESIGN.md §12): every search-shaped request is
+   recorded in a bounded ring of request records (status, wall time,
+   per-phase breakdown from the engine stats, cache hit), its latency
+   observed into a [serve.request_us] histogram; the scheduler feeds
+   [serve.queue.depth], [serve.queue.wait_ms], [serve.workers.busy] and
+   the [serve.queue.shed] counter. [{"op": "status"}] snapshots uptime,
+   request counters, latency quantiles, the queue and worker gauges, the
+   phase breakdown, cache and intern-table health, and the recent slow
+   requests, and [{"op": "metrics"}] exposes the whole registry as
+   Prometheus text. Span traces are captured per request and retained by
+   a deterministic head-sampling decision on the fingerprint
+   ([--sample-rate]) with a tail-based override: slow (>= [--slow-ms]),
+   degraded and error requests keep their span tree even when
+   head-sampled out. *)
 
 module Json = Itf_obs.Json
 module Metrics = Itf_obs.Metrics
 module Tracer = Itf_obs.Tracer
 module Profile = Itf_obs.Profile
 module Engine = Itf_opt.Engine
+module Pool = Itf_opt.Pool
 module Stats = Itf_opt.Stats
 module Sequence = Itf_core.Sequence
 
@@ -41,10 +64,18 @@ module Sequence = Itf_core.Sequence
 
 module Lru = struct
   (* Capacity is small (default {!default_max_cache}), so recency is a
-     per-entry stamp and eviction an O(cap) scan — no intrusive list. *)
+     per-entry stamp and eviction an O(cap) scan — no intrusive list.
+
+     Explicitly thread-safe: one mutex per cache guards every operation —
+     probe, insert, the eviction scan, the counter snapshot. Under the
+     old design the global search lock covered it; now concurrent workers
+     hit it directly, and the single mutex guarantees the tick/stamp
+     bookkeeping never tears and the hit/miss/eviction counters never
+     lose an update (the concurrency tests assert exact totals). *)
   type t = {
     tbl : (string, Json.t * int ref) Hashtbl.t;
     cap : int;
+    mutex : Mutex.t;
     mutable tick : int;
     mutable hits : int;
     mutable misses : int;
@@ -55,6 +86,7 @@ module Lru = struct
     {
       tbl = Hashtbl.create 64;
       cap = max 0 cap;
+      mutex = Mutex.create ();
       tick = 0;
       hits = 0;
       misses = 0;
@@ -62,38 +94,46 @@ module Lru = struct
     }
 
   let find t key =
-    match Hashtbl.find_opt t.tbl key with
-    | Some (v, stamp) ->
-      t.tick <- t.tick + 1;
-      stamp := t.tick;
-      t.hits <- t.hits + 1;
-      Some v
-    | None ->
-      t.misses <- t.misses + 1;
-      None
+    Mutex.protect t.mutex (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some (v, stamp) ->
+          t.tick <- t.tick + 1;
+          stamp := t.tick;
+          t.hits <- t.hits + 1;
+          Some v
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
 
   let add t key v =
-    if t.cap > 0 then begin
-      if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.cap then begin
-        let victim =
-          Hashtbl.fold
-            (fun k (_, stamp) acc ->
-              match acc with
-              | Some (_, oldest) when oldest <= !stamp -> acc
-              | _ -> Some (k, !stamp))
-            t.tbl None
-        in
-        match victim with
-        | Some (k, _) ->
-          Hashtbl.remove t.tbl k;
-          t.evictions <- t.evictions + 1
-        | None -> ()
-      end;
-      t.tick <- t.tick + 1;
-      Hashtbl.replace t.tbl key (v, ref t.tick)
-    end
+    if t.cap > 0 then
+      Mutex.protect t.mutex (fun () ->
+          if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.cap
+          then begin
+            let victim =
+              Hashtbl.fold
+                (fun k (_, stamp) acc ->
+                  match acc with
+                  | Some (_, oldest) when oldest <= !stamp -> acc
+                  | _ -> Some (k, !stamp))
+                t.tbl None
+            in
+            match victim with
+            | Some (k, _) ->
+              Hashtbl.remove t.tbl k;
+              t.evictions <- t.evictions + 1
+            | None -> ()
+          end;
+          t.tick <- t.tick + 1;
+          Hashtbl.replace t.tbl key (v, ref t.tick))
 
-  let size t = Hashtbl.length t.tbl
+  (* A consistent (hits, misses, evictions, size) snapshot — the four
+     values are read under the same lock acquisition, so a snapshot never
+     mixes counters from different moments. *)
+  let counters t =
+    Mutex.protect t.mutex (fun () ->
+        (t.hits, t.misses, t.evictions, Hashtbl.length t.tbl))
+
 end
 
 (* ------------------------------------------------------------------ *)
@@ -116,79 +156,42 @@ type req_record = {
 }
 
 module Ring = struct
+  (* Thread-safe like {!Lru}: a single mutex serializes pushes (which
+     mutate the cursor and the total) and snapshots, so concurrent
+     workers never drop a record or read a half-advanced cursor. *)
   type t = {
     slots : req_record option array;
+    mutex : Mutex.t;
     mutable next : int;
     mutable total : int;
   }
 
   let create cap =
-    { slots = Array.make (max 1 cap) None; next = 0; total = 0 }
+    {
+      slots = Array.make (max 1 cap) None;
+      mutex = Mutex.create ();
+      next = 0;
+      total = 0;
+    }
 
   let push t x =
-    t.slots.(t.next) <- Some x;
-    t.next <- (t.next + 1) mod Array.length t.slots;
-    t.total <- t.total + 1
+    Mutex.protect t.mutex (fun () ->
+        t.slots.(t.next) <- Some x;
+        t.next <- (t.next + 1) mod Array.length t.slots;
+        t.total <- t.total + 1)
 
   (* Newest first. *)
   let recent t =
-    let n = Array.length t.slots in
-    let out = ref [] in
-    for k = 0 to n - 1 do
-      match t.slots.((t.next + k) mod n) with
-      | Some x -> out := x :: !out
-      | None -> ()
-    done;
-    !out
+    Mutex.protect t.mutex (fun () ->
+        let n = Array.length t.slots in
+        let out = ref [] in
+        for k = 0 to n - 1 do
+          match t.slots.((t.next + k) mod n) with
+          | Some x -> out := x :: !out
+          | None -> ()
+        done;
+        !out)
 end
-
-(* ------------------------------------------------------------------ *)
-(* Server state                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let default_max_cache = 64
-let default_slow_ms = 500.
-let default_recent = 128
-let slow_log_limit = 16
-
-type t = {
-  domains : int option;
-  default_deadline_ms : float option;
-  cache : Lru.t;
-  metrics : Metrics.t;
-  tracer : Tracer.t;  (** accumulates the {e retained} request span trees *)
-  metrics_out : string option;
-  trace_out : string option;
-  slow_ms : float;
-  sample_rate : float;
-  started : float;
-  recent : Ring.t;
-  lock : Mutex.t;  (** serializes searches, interning and the cache *)
-  clients : (Unix.file_descr list ref * Mutex.t);
-  mutable stopping : bool;
-}
-
-let create ?domains ?default_deadline_ms ?(max_cache = default_max_cache)
-    ?metrics_out ?trace_out ?(slow_ms = default_slow_ms) ?(sample_rate = 1.)
-    ?(recent = default_recent) () =
-  {
-    domains;
-    default_deadline_ms;
-    cache = Lru.create max_cache;
-    metrics = Metrics.create ();
-    tracer = (if trace_out = None then Tracer.null else Tracer.create ());
-    metrics_out;
-    trace_out;
-    slow_ms;
-    sample_rate;
-    started = Unix.gettimeofday ();
-    recent = Ring.create recent;
-    lock = Mutex.create ();
-    clients = (ref [], Mutex.create ());
-    stopping = false;
-  }
-
-let metrics t = t.metrics
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -309,11 +312,105 @@ let fingerprint req nest =
     req.procs
 
 (* ------------------------------------------------------------------ *)
-(* Handling                                                            *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_cache = 64
+let default_slow_ms = 500.
+let default_recent = 128
+let default_workers = 1
+let default_queue_depth = 64
+let slow_log_limit = 16
+
+(* One admitted unit of work, waiting in the scheduler queue. [reply] is
+   called exactly once with the finished response — from a worker domain
+   for queued jobs, from the submitting thread for inline answers
+   (malformed requests, shed requests, shutdown). *)
+type job =
+  | Search of {
+      req : request;
+      recv : float;  (** receipt wall clock: deadlines count queue time *)
+      reply : Json.t -> unit;
+    }
+  | Op of { op : string; op_id : Json.t; recv : float; reply : Json.t -> unit }
+
+type t = {
+  domains : int option;
+  default_deadline_ms : float option;
+  cache : Lru.t;
+  metrics : Metrics.t;
+  tracer : Tracer.t;  (** accumulates the {e retained} request span trees *)
+  metrics_out : string option;
+  trace_out : string option;
+  slow_ms : float;
+  sample_rate : float;
+  started : float;
+  recent : Ring.t;
+  obs_lock : Mutex.t;
+      (** guards the observability sinks only: the retained-trace forest
+          and the metrics/trace output files. Searches do NOT serialize
+          through it. *)
+  clients : (Unix.file_descr list ref * Mutex.t);
+  (* Scheduler state: a bounded FIFO of admitted jobs, executed by up to
+     [workers] concurrent pump loops on the shared domain pool. [sched]
+     guards the queue and both counts; [sched_idle] is broadcast when the
+     scheduler goes fully idle (shutdown drains on it). *)
+  workers : int;
+  queue_depth : int;
+  pool : Pool.t;
+  sched : Mutex.t;
+  sched_idle : Condition.t;
+  jobs : job Queue.t;
+  mutable queued : int;  (** jobs waiting (excludes running) *)
+  mutable running : int;  (** active pump loops, <= workers *)
+  mutable stopping : bool;
+}
+
+let create ?domains ?default_deadline_ms ?(max_cache = default_max_cache)
+    ?metrics_out ?trace_out ?(slow_ms = default_slow_ms) ?(sample_rate = 1.)
+    ?(recent = default_recent) ?(workers = default_workers)
+    ?(queue_depth = default_queue_depth) () =
+  let workers = max 1 workers in
+  let metrics = Metrics.create () in
+  Metrics.set (Metrics.gauge metrics "serve.workers") (float_of_int workers);
+  {
+    domains;
+    default_deadline_ms;
+    cache = Lru.create max_cache;
+    metrics;
+    tracer = (if trace_out = None then Tracer.null else Tracer.create ());
+    metrics_out;
+    trace_out;
+    slow_ms;
+    sample_rate;
+    started = Unix.gettimeofday ();
+    recent = Ring.create recent;
+    obs_lock = Mutex.create ();
+    clients = (ref [], Mutex.create ());
+    workers;
+    queue_depth = max 0 queue_depth;
+    (* The process-wide pool (grown, never shrunk) supplies the worker
+       domains; the scheduler bounds {e this server's} concurrency to
+       [workers] itself, so sharing the pool with other servers or with
+       the engine's candidate fan-out cannot over-admit. *)
+    pool = Pool.shared ~workers ();
+    sched = Mutex.create ();
+    sched_idle = Condition.create ();
+    jobs = Queue.create ();
+    queued = 0;
+    running = 0;
+    stopping = false;
+  }
+
+let metrics t = t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* Instruments                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let error_response ?(id = Json.Null) msg =
-  Json.Obj [ ("id", id); ("status", Json.String "error"); ("error", Json.String msg) ]
+  Json.Obj
+    [ ("id", id); ("status", Json.String "error"); ("error", Json.String msg) ]
 
 let render_sequence seq =
   if seq = [] then "identity" else Format.asprintf "%a" Sequence.pp seq
@@ -322,12 +419,25 @@ let count_request t status =
   Metrics.incr
     (Metrics.counter t.metrics ~labels:[ ("status", status) ] "serve.requests")
 
+let shed_counter t = Metrics.counter t.metrics "serve.queue.shed"
+let busy_gauge t = Metrics.gauge t.metrics "serve.workers.busy"
+
+let queue_wait t =
+  Metrics.histogram t.metrics ~buckets:Metrics.duration_buckets
+    "serve.queue.wait_ms"
+
 let publish_cache_gauges t =
+  let hits, misses, evictions, size = Lru.counters t.cache in
   let g name v = Metrics.set (Metrics.gauge t.metrics name) (float_of_int v) in
-  g "serve.cache.size" (Lru.size t.cache);
-  g "serve.cache.hits" t.cache.Lru.hits;
-  g "serve.cache.misses" t.cache.Lru.misses;
-  g "serve.cache.evictions" t.cache.Lru.evictions
+  g "serve.cache.size" size;
+  g "serve.cache.hits" hits;
+  g "serve.cache.misses" misses;
+  g "serve.cache.evictions" evictions
+
+(* Caller must hold [t.sched]. *)
+let publish_queue_gauge t =
+  Metrics.set (Metrics.gauge t.metrics "serve.queue.depth")
+    (float_of_int t.queued)
 
 let write_text_file path s =
   let oc = open_out_bin path in
@@ -337,7 +447,8 @@ let write_text_file path s =
 
 (* Rewritten whole after every request so an external observer (the CI
    smoke test, an operator's tail loop) always sees a complete JSON
-   document, not a moving append point. *)
+   document, not a moving append point. Callers hold [t.obs_lock] so two
+   workers never interleave partial writes of the same file. *)
 let flush_observability t =
   (match t.metrics_out with
   | None -> ()
@@ -363,6 +474,10 @@ let phases_of_stats (s : Stats.t) =
     ("exact", s.Stats.exact_time_s *. 1e6);
     ("merge", s.Stats.merge_time_s *. 1e6);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Search execution                                                    *)
+(* ------------------------------------------------------------------ *)
 
 let search_response t ~tracer req ~t_recv =
   match Itf_lang.Parser.parse req.nest_src with
@@ -453,6 +568,9 @@ let search_response t ~tracer req ~t_recv =
           | Engine.Degraded { cut } -> [ ("cut", Json.String cut) ]
         in
         let body = Json.Obj body in
+        (* Two workers finishing the same (uncached) request race the
+           insert, but determinism makes the race write-write-identical:
+           both computed the same body, either store wins. *)
         if o.Engine.completion = Engine.Complete then Lru.add t.cache key body;
         Ok (`Fresh (body, key, o.Engine.stats))))
 
@@ -478,10 +596,12 @@ let record_json r =
 
 let is_slow t r = r.rq_status <> "ok" || r.rq_wall_us >= t.slow_ms *. 1000.
 
-(* The status snapshot. Reads the registry and the ring under the server
-   lock (the caller holds it); every number is either an integer counter
+(* The status snapshot. Every structure it reads is self-synchronized
+   (atomic instruments, the ring's and cache's own mutexes, the scheduler
+   lock for the queue counts); every number is either an integer counter
    or derived from integer bucket counts, so two servers fed the same
-   requests report the same snapshot modulo the wall-clock fields. *)
+   requests report the same snapshot modulo the wall-clock fields and the
+   instantaneous queue/worker levels. *)
 let status_snapshot t ~id =
   let now = Unix.gettimeofday () in
   let cnt s =
@@ -489,9 +609,12 @@ let status_snapshot t ~id =
       (Metrics.counter t.metrics ~labels:[ ("status", s) ] "serve.requests")
   in
   let ok = cnt "ok" and degraded = cnt "degraded" and errors = cnt "error" in
+  let overloaded = cnt "overloaded" in
   let lat = request_latency t in
   let lat_count = Metrics.histogram_count lat in
   let q p = Option.value ~default:0. (Metrics.quantile lat p) in
+  let wait = queue_wait t in
+  let wq p = Option.value ~default:0. (Metrics.quantile wait p) in
   let phase_sum p =
     Metrics.histogram_sum
       (Metrics.histogram t.metrics
@@ -520,6 +643,10 @@ let status_snapshot t ~id =
           ])
       (Itf_mat.Hashcons.stats ())
   in
+  let queued = Mutex.protect t.sched (fun () -> t.queued) in
+  let cache_hits, cache_misses, cache_evictions, cache_size =
+    Lru.counters t.cache
+  in
   Json.Obj
     [
       ("id", id);
@@ -531,7 +658,25 @@ let status_snapshot t ~id =
             ("ok", Json.Int ok);
             ("degraded", Json.Int degraded);
             ("error", Json.Int errors);
-            ("total", Json.Int (ok + degraded + errors));
+            ("overloaded", Json.Int overloaded);
+            ("total", Json.Int (ok + degraded + errors + overloaded));
+          ] );
+      ( "queue",
+        Json.Obj
+          [
+            ("depth", Json.Int queued);
+            ("capacity", Json.Int t.queue_depth);
+            ( "shed",
+              Json.Int (Metrics.counter_value (shed_counter t)) );
+            ("wait_ms_p50", Json.Float (wq 0.5));
+            ("wait_ms_p99", Json.Float (wq 0.99));
+          ] );
+      ( "workers",
+        Json.Obj
+          [
+            ("configured", Json.Int t.workers);
+            ( "busy",
+              Json.Int (int_of_float (Metrics.gauge_value (busy_gauge t))) );
           ] );
       ( "latency_us",
         Json.Obj
@@ -560,10 +705,10 @@ let status_snapshot t ~id =
       ( "cache",
         Json.Obj
           [
-            ("size", Json.Int (Lru.size t.cache));
-            ("hits", Json.Int t.cache.Lru.hits);
-            ("misses", Json.Int t.cache.Lru.misses);
-            ("evictions", Json.Int t.cache.Lru.evictions);
+            ("size", Json.Int cache_size);
+            ("hits", Json.Int cache_hits);
+            ("misses", Json.Int cache_misses);
+            ("evictions", Json.Int cache_evictions);
           ] );
       ("intern", Json.List intern);
       ("slow_ms", Json.Float t.slow_ms);
@@ -580,11 +725,214 @@ let metrics_snapshot t ~id =
       ("metrics", Json.String (Metrics.dump_prometheus t.metrics));
     ]
 
-(* [handle t json] answers one decoded request; returns the response and
-   whether the server should stop. Never raises: any error — malformed
-   request, parse failure, an exception escaping the engine — becomes a
-   [status = "error"] response. *)
-let handle t json =
+(* ------------------------------------------------------------------ *)
+(* Request recording                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Count, time, ring-record and (when a tracer captured spans) retain one
+   finished search-shaped request. Runs on whichever thread produced the
+   response — a worker domain for executed searches, the submitting
+   thread for inline answers (parse errors, shed requests). Everything
+   here is either atomic or internally locked; only the trace forest and
+   the output files need [obs_lock]. *)
+let record_request t ?(fp = "") ?(cached = false) ?(phases = [])
+    ?(rt = Tracer.null) ~req_id ~t_recv resp =
+  let status =
+    match Json.member "status" resp with
+    | Some (Json.String s) -> s
+    | _ -> "error"
+  in
+  let wall_us = (Unix.gettimeofday () -. t_recv) *. 1e6 in
+  let record =
+    {
+      rq_id = req_id;
+      rq_fingerprint = fp;
+      rq_status = status;
+      rq_wall_us = wall_us;
+      rq_cached = cached;
+      rq_phases_us = phases;
+      rq_profile = [];
+    }
+  in
+  (* Head sampling is decided by the fingerprint alone, so reruns of the
+     same request stream retain the same traces; the tail condition
+     overrides it for anything worth a post-mortem. Capture already
+     happened either way — sampling only chooses retention, so the kept
+     span trees are unaffected by the rate. *)
+  let retained =
+    Tracer.enabled rt
+    && (is_slow t record
+       || Tracer.head_keep ~sample_rate:t.sample_rate ~fingerprint:fp)
+  in
+  let record =
+    if retained then
+      { record with rq_profile = Profile.of_spans (Tracer.roots rt) }
+    else record
+  in
+  count_request t status;
+  Metrics.observe (request_latency t) wall_us;
+  Ring.push t.recent record;
+  publish_cache_gauges t;
+  Mutex.protect t.obs_lock (fun () ->
+      if retained then Tracer.join t.tracer [ rt ];
+      flush_observability t)
+
+(* Execute one admitted search on a worker. The queue-aware deadline
+   check comes first: a request whose whole allowance was eaten while it
+   waited returns [Degraded {cut = "queue:deadline"}] without touching
+   the engine — and is never cached, exactly like any other degraded
+   answer. *)
+let exec_search t req ~t_recv =
+  let effective_deadline_ms =
+    match req.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.default_deadline_ms
+  in
+  let queue_expired =
+    match effective_deadline_ms with
+    | Some ms -> (Unix.gettimeofday () -. t_recv) *. 1000. >= ms
+    | None -> false
+  in
+  if queue_expired then begin
+    let time_ms = (Unix.gettimeofday () -. t_recv) *. 1000. in
+    let resp =
+      Json.Obj
+        [
+          ("id", req.id);
+          ("status", Json.String "degraded");
+          ("cut", Json.String "queue:deadline");
+          ("cached", Json.Bool false);
+          ("time_ms", Json.Float time_ms);
+        ]
+    in
+    record_request t ~req_id:req.id ~t_recv resp;
+    resp
+  end
+  else begin
+    (* Span capture is per request: a fresh tracer when the tracing sink
+       is configured, spliced into the retained forest only if the
+       head-sampling draw keeps it or the tail condition fires. *)
+    let rt = if t.trace_out = None then Tracer.null else Tracer.create () in
+    let resp, fp, cached, phases =
+      match search_response t ~tracer:rt req ~t_recv with
+      | Error msg -> (error_response ~id:req.id msg, "", false, [])
+      | Ok answer ->
+        let body, fp, cached, phases =
+          match answer with
+          | `Cached (body, fp) -> (body, fp, true, [])
+          | `Fresh (body, fp, stats) -> (body, fp, false, phases_of_stats stats)
+        in
+        let time_ms = (Unix.gettimeofday () -. t_recv) *. 1000. in
+        ( Json.Obj
+            (("id", req.id)
+            :: (match body with Json.Obj kvs -> kvs | v -> [ ("result", v) ])
+            @ [ ("cached", Json.Bool cached); ("time_ms", Json.Float time_ms) ]),
+          fp,
+          cached,
+          phases )
+      | exception e ->
+        ( error_response ~id:req.id ("internal error: " ^ Printexc.to_string e),
+          "",
+          false,
+          [] )
+    in
+    record_request t ~fp ~cached ~phases ~rt ~req_id:req.id ~t_recv resp;
+    resp
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let run_job t job =
+  let observe_wait recv =
+    Metrics.observe (queue_wait t) ((Unix.gettimeofday () -. recv) *. 1000.)
+  in
+  match job with
+  | Op { op; op_id; recv; reply } ->
+    observe_wait recv;
+    let resp =
+      match op with
+      | "status" -> status_snapshot t ~id:op_id
+      | _ -> metrics_snapshot t ~id:op_id
+    in
+    count_request t "ok";
+    Mutex.protect t.obs_lock (fun () -> flush_observability t);
+    reply resp
+  | Search { req; recv; reply } ->
+    observe_wait recv;
+    reply (exec_search t req ~t_recv:recv)
+
+(* One pump loop: drain the server's queue until it is empty, then
+   release the worker slot. Short-lived by design — pump jobs occupy a
+   shared-pool domain only while this server actually has work, so many
+   servers (and the engine's own candain fan-out) can share one pool
+   without parking threads on each other. *)
+let rec pump t =
+  let job =
+    Mutex.protect t.sched (fun () ->
+        match Queue.take_opt t.jobs with
+        | None ->
+          t.running <- t.running - 1;
+          if t.running = 0 && t.queued = 0 then
+            Condition.broadcast t.sched_idle;
+          None
+        | Some j ->
+          t.queued <- t.queued - 1;
+          publish_queue_gauge t;
+          Some j)
+  in
+  match job with
+  | None -> ()
+  | Some job ->
+    Metrics.gauge_add (busy_gauge t) 1.;
+    (* Per-request isolation: [run_job] already converts engine failures
+       into error responses; this catch-all is the last line keeping an
+       unexpected exception from killing a shared pool worker. *)
+    (try run_job t job with _ -> ());
+    Metrics.gauge_add (busy_gauge t) (-1.);
+    pump t
+
+(* Admission. Introspection ops are always admitted — they are cheap,
+   bounded and exactly what an operator needs during overload; searches
+   are shed once [queue_depth] jobs are already waiting. Admitting a job
+   tops the pump loops up to [workers], which bounds this server's
+   concurrency regardless of how large the shared pool has grown. *)
+let enqueue t job =
+  Mutex.protect t.sched (fun () ->
+      let sheddable = match job with Search _ -> true | Op _ -> false in
+      if sheddable && t.queued >= t.queue_depth then `Shed
+      else begin
+        Queue.push job t.jobs;
+        t.queued <- t.queued + 1;
+        publish_queue_gauge t;
+        if t.running < t.workers then begin
+          t.running <- t.running + 1;
+          Pool.submit t.pool (fun () -> pump t)
+        end;
+        `Queued
+      end)
+
+(* Block until the scheduler is fully idle: no queued jobs, no running
+   pump. Invariant: whenever the queue is non-empty at least one pump is
+   running (enqueue tops the slots up under the same lock), so this
+   always terminates once clients stop submitting. *)
+let drain t =
+  Mutex.protect t.sched (fun () ->
+      while t.queued > 0 || t.running > 0 do
+        Condition.wait t.sched_idle t.sched
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Handling                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [submit t json k] classifies one decoded request and calls [k] exactly
+   once with (response, stop). Inline paths — unknown op, malformed
+   search, shed search, shutdown — reply on the calling thread before
+   returning; admitted jobs reply later from a worker domain. Never
+   raises: any error becomes a [status = "error"] response. *)
+let submit t json k =
   let t_recv = Unix.gettimeofday () in
   let req_id () = Option.value ~default:Json.Null (Json.member "id" json) in
   let op =
@@ -598,123 +946,94 @@ let handle t json =
   in
   match op with
   | Some "shutdown" ->
+    (* Stop, but answer everything already admitted first: the drain
+       waits for the queue and every running worker, so the shutdown
+       response is always the last one out. *)
     t.stopping <- true;
+    drain t;
     count_request t "ok";
-    ( Json.Obj
-        [
-          ("id", req_id ());
-          ("status", Json.String "ok");
-          ("shutdown", Json.Bool true);
-        ],
-      true )
-  | Some "status" ->
-    let resp =
-      Mutex.protect t.lock (fun () ->
-          let r = status_snapshot t ~id:(req_id ()) in
-          count_request t "ok";
-          flush_observability t;
-          r)
+    k
+      ( Json.Obj
+          [
+            ("id", req_id ());
+            ("status", Json.String "ok");
+            ("shutdown", Json.Bool true);
+          ],
+        true )
+  | Some (("status" | "metrics") as opname) ->
+    let job =
+      Op
+        {
+          op = opname;
+          op_id = req_id ();
+          recv = t_recv;
+          reply = (fun resp -> k (resp, false));
+        }
     in
-    (resp, false)
-  | Some "metrics" ->
-    let resp =
-      Mutex.protect t.lock (fun () ->
-          let r = metrics_snapshot t ~id:(req_id ()) in
-          count_request t "ok";
-          flush_observability t;
-          r)
-    in
-    (resp, false)
+    (match enqueue t job with
+    | `Queued -> ()
+    | `Shed -> assert false (* ops are never shed *))
   | Some other ->
     let resp =
       error_response ~id:(req_id ())
         (Printf.sprintf "unknown op %S (use status|metrics|shutdown)" other)
     in
-    Mutex.protect t.lock (fun () ->
-        count_request t "error";
-        flush_observability t);
-    (resp, false)
-  | None ->
-    (* A search request. Span capture is per request: a fresh tracer when
-       the tracing sink is configured, spliced into the retained forest
-       only if the head-sampling draw keeps it or the tail condition
-       (slow/degraded/error) fires. *)
-    let rt = if t.trace_out = None then Tracer.null else Tracer.create () in
-    let resp, fp, cached, phases, req_id_v =
-      match parse_request json with
-      | Error msg -> (error_response ?id:(Json.member "id" json) msg, "", false, [], req_id ())
-      | Ok req -> (
-        match
-          Mutex.protect t.lock (fun () ->
-              search_response t ~tracer:rt req ~t_recv)
-        with
-        | Error msg -> (error_response ~id:req.id msg, "", false, [], req.id)
-        | Ok answer ->
-          let body, fp, cached, phases =
-            match answer with
-            | `Cached (body, fp) -> (body, fp, true, [])
-            | `Fresh (body, fp, stats) ->
-              (body, fp, false, phases_of_stats stats)
-          in
-          let time_ms = (Unix.gettimeofday () -. t_recv) *. 1000. in
-          ( Json.Obj
-              (("id", req.id)
-              :: (match body with Json.Obj kvs -> kvs | v -> [ ("result", v) ])
-              @ [
-                  ("cached", Json.Bool cached); ("time_ms", Json.Float time_ms);
-                ]),
-            fp,
-            cached,
-            phases,
-            req.id )
-        | exception e ->
-          ( error_response ~id:req.id
-              ("internal error: " ^ Printexc.to_string e),
-            "",
-            false,
-            [],
-            req.id ))
-    in
-    let status =
-      match Json.member "status" resp with
-      | Some (Json.String s) -> s
-      | _ -> "error"
-    in
-    let wall_us = (Unix.gettimeofday () -. t_recv) *. 1e6 in
-    let record =
-      {
-        rq_id = req_id_v;
-        rq_fingerprint = fp;
-        rq_status = status;
-        rq_wall_us = wall_us;
-        rq_cached = cached;
-        rq_phases_us = phases;
-        rq_profile = [];
-      }
-    in
-    (* Head sampling is decided by the fingerprint alone, so reruns of the
-       same request stream retain the same traces; the tail condition
-       overrides it for anything worth a post-mortem. Capture already
-       happened either way — sampling only chooses retention, so the kept
-       span trees are unaffected by the rate. *)
-    let retained =
-      Tracer.enabled rt
-      && (is_slow t record
-         || Tracer.head_keep ~sample_rate:t.sample_rate ~fingerprint:fp)
-    in
-    let record =
-      if retained then
-        { record with rq_profile = Profile.of_spans (Tracer.roots rt) }
-      else record
-    in
-    Mutex.protect t.lock (fun () ->
-        count_request t status;
-        Metrics.observe (request_latency t) wall_us;
-        Ring.push t.recent record;
-        if retained then Tracer.join t.tracer [ rt ];
-        publish_cache_gauges t;
-        flush_observability t);
-    (resp, false)
+    count_request t "error";
+    Mutex.protect t.obs_lock (fun () -> flush_observability t);
+    k (resp, false)
+  | None -> (
+    match parse_request json with
+    | Error msg ->
+      (* Malformed searches never occupy a worker: answered inline, but
+         still counted and ring-recorded like any other request. *)
+      let resp = error_response ?id:(Json.member "id" json) msg in
+      record_request t ~req_id:(req_id ()) ~t_recv resp;
+      k (resp, false)
+    | Ok req -> (
+      let job =
+        Search { req; recv = t_recv; reply = (fun resp -> k (resp, false)) }
+      in
+      match enqueue t job with
+      | `Queued -> ()
+      | `Shed ->
+        Metrics.incr (shed_counter t);
+        let resp =
+          Json.Obj
+            [
+              ("id", req.id);
+              ("status", Json.String "overloaded");
+              ( "error",
+                Json.String
+                  (Printf.sprintf
+                     "queue full (%d waiting, capacity %d): request shed"
+                     t.queue_depth t.queue_depth) );
+            ]
+        in
+        record_request t ~req_id:req.id ~t_recv resp;
+        k (resp, false)))
+
+(* Synchronous wrapper: submit and block until the reply lands. Used by
+   [handle_line] (tests, simple embedding); the I/O loops below use
+   [submit] directly so one slow search never stalls the reader. *)
+let handle t json =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let cell = ref None in
+  submit t json (fun reply ->
+      Mutex.protect m (fun () ->
+          cell := Some reply;
+          Condition.signal c));
+  Mutex.lock m;
+  let rec wait () =
+    match !cell with
+    | Some r -> r
+    | None ->
+      Condition.wait c m;
+      wait ()
+  in
+  let r = wait () in
+  Mutex.unlock m;
+  r
 
 let handle_line t line =
   match Json.of_string line with
@@ -725,23 +1044,56 @@ let handle_line t line =
 (* I/O loops                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Pipelined channel loop: the reader admits requests as fast as they
+   arrive (the admission queue, not the reader, applies backpressure);
+   workers complete them and responses are written in completion order
+   under a per-channel output lock — out-of-order under load, so clients
+   correlate by ["id"]. With [workers = 1] the scheduler is a FIFO and
+   responses come back in request order, exactly the old serialized
+   behavior. On EOF or shutdown the loop waits for every response it owes
+   before returning. *)
 let serve_channel t ic oc =
+  let out = Mutex.create () in
+  let pm = Mutex.create () in
+  let pc = Condition.create () in
+  let pending = ref 0 in
+  let stopped = ref false in
+  let write resp =
+    Mutex.protect out (fun () ->
+        output_string oc (Json.to_string resp);
+        output_char oc '\n';
+        flush oc)
+  in
+  let finish stop =
+    Mutex.protect pm (fun () ->
+        decr pending;
+        if stop then stopped := true;
+        Condition.signal pc)
+  in
   let rec loop () =
-    if not t.stopping then
+    if not (t.stopping || !stopped) then
       match input_line ic with
       | exception End_of_file -> ()
       | line ->
         let line = String.trim line in
-        if line = "" then loop ()
-        else begin
-          let resp, stop = handle_line t line in
-          output_string oc (Json.to_string resp);
-          output_char oc '\n';
-          flush oc;
-          if not stop then loop ()
-        end
+        if line <> "" then begin
+          Mutex.protect pm (fun () -> incr pending);
+          match Json.of_string line with
+          | Error msg ->
+            write (error_response ("malformed JSON: " ^ msg));
+            finish false
+          | Ok json ->
+            submit t json (fun (resp, stop) ->
+                write resp;
+                finish stop)
+        end;
+        loop ()
   in
-  loop ()
+  loop ();
+  Mutex.protect pm (fun () ->
+      while !pending > 0 do
+        Condition.wait pc pm
+      done)
 
 let track_client t fd =
   let fds, lock = t.clients in
@@ -788,8 +1140,8 @@ let accept_loop t listen_fd =
 (* [run t] serves requests from stdin (responses to stdout) and, when
    [socket] is given, from a Unix-domain socket with one thread per
    connection. Returns after stdin reaches EOF or a shutdown request
-   arrives on any channel; the listener and live connections are closed
-   on the way out. *)
+   arrives on any channel; in-flight requests are drained, then the
+   listener and live connections are closed on the way out. *)
 let run ?socket t =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let listener =
@@ -801,6 +1153,7 @@ let run ?socket t =
   in
   serve_channel t stdin stdout;
   t.stopping <- true;
+  drain t;
   (match listener with
   | None -> ()
   | Some (path, fd, thread) ->
@@ -808,4 +1161,4 @@ let run ?socket t =
     close_clients t;
     (try Thread.join thread with _ -> ());
     try Unix.unlink path with _ -> ());
-  Mutex.protect t.lock (fun () -> flush_observability t)
+  Mutex.protect t.obs_lock (fun () -> flush_observability t)

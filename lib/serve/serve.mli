@@ -2,12 +2,30 @@
 
     One JSON object per line on stdin (responses on stdout) and,
     optionally, on a Unix-domain socket with one thread per connection.
-    Requests are serialized through a single server lock so every search
-    shares the process-wide hash-cons intern tables, the canonicalization
-    memo and the exact-objective memos ({!Itf_opt.Search}) — the second
-    identical-shaped request is answered mostly from those tables, and an
-    {e exactly} identical request is answered from a bounded LRU response
-    cache without running the engine at all.
+    Requests are no longer serialized through a global lock: a bounded
+    admission queue feeds a pool of up to [workers] worker domains
+    (shared with the engine's candidate fan-out via
+    {!Itf_opt.Pool.shared}), so independent searches run truly in
+    parallel. Every search still shares the process-wide hash-cons
+    intern tables, the canonicalization memo and the exact-objective
+    memos ({!Itf_opt.Search}) — all sharded and safe for concurrent
+    use — so the second identical-shaped request is answered mostly from
+    those tables, and an {e exactly} identical request is answered from
+    a bounded LRU response cache without running the engine at all.
+
+    {b Determinism}: result payloads are byte-identical whether the
+    server runs one worker or eight, cold or warm — the engine's orders
+    are structural and the memoized objectives return bit-identical
+    floats regardless of which worker warmed them (DESIGN.md §13). Under
+    load responses may complete out of request order; clients correlate
+    by ["id"]. With [workers = 1] responses come back in request order.
+
+    {b Scheduling}: when [queue_depth] searches are already waiting, a
+    new search is shed immediately with [status = "overloaded"] instead
+    of stalling the client. A request whose deadline expires while it
+    waits in the queue returns [status = "degraded"] with
+    [cut = "queue:deadline"] without running the engine (and is never
+    cached). Introspection ops are exempt from shedding.
 
     {b Request} fields: ["nest"] (required; loop-nest source text),
     ["id"] (echoed verbatim), ["objective"] (["locality"] (default) or
@@ -16,17 +34,21 @@
     ["tier0_only"], ["deadline_ms"], ["max_nodes"]. The deadline is
     measured from receipt, so queueing delay counts against it.
 
-    {b Ops}: [{"op": "shutdown"}] stops the server; [{"op": "status"}]
-    returns a live snapshot (uptime, request counters, latency quantiles
-    from the [serve.request_us] histogram, per-phase time breakdown from
-    the [engine.phase_us] histograms, cache and hash-cons intern-table
-    health, and the recent slow requests); [{"op": "metrics"}] returns
-    the whole registry in the Prometheus text exposition format under a
-    ["metrics"] string field. Any other ["op"] is an error response.
+    {b Ops}: [{"op": "shutdown"}] drains the queue and every running
+    worker, then stops the server (its response is the last one out);
+    [{"op": "status"}] returns a live snapshot (uptime, request
+    counters, latency quantiles from the [serve.request_us] histogram,
+    queue depth/capacity/shed count and wait quantiles, busy workers,
+    per-phase time breakdown from the [engine.phase_us] histograms,
+    cache and hash-cons intern-table health, and the recent slow
+    requests); [{"op": "metrics"}] returns the whole registry in the
+    Prometheus text exposition format under a ["metrics"] string field.
+    Any other ["op"] is an error response.
 
     {b Response} fields (search): ["id"], ["status"] ([ok] — complete;
     [degraded] — budget expired, best-so-far answer plus a ["cut"]
-    checkpoint name; [error] — malformed request, unparseable nest,
+    checkpoint name; [overloaded] — shed at admission, with an
+    ["error"] message; [error] — malformed request, unparseable nest,
     unscoreable nest), ["score"], ["sequence"], ["canonical"],
     ["explored"], ["exact_evals"], ["cached"], ["time_ms"]. Errors are
     responses, never crashes. Only complete outcomes enter the response
@@ -48,14 +70,22 @@
     their ring record. *)
 
 type t
-(** Server state: response cache, metrics registry, tracer, request ring,
-    lock. *)
+(** Server state: scheduler (admission queue + worker pool), response
+    cache, metrics registry, tracer, request ring. *)
 
 val default_max_cache : int
 (** Default response-cache capacity (entries). *)
 
 val default_slow_ms : float
 (** Default slow-request threshold (milliseconds). *)
+
+val default_workers : int
+(** Default worker count ([1] — serialized, responses in request
+    order). *)
+
+val default_queue_depth : int
+(** Default admission-queue capacity; searches beyond it are shed as
+    [status = "overloaded"]. *)
 
 val create :
   ?domains:int ->
@@ -66,6 +96,8 @@ val create :
   ?slow_ms:float ->
   ?sample_rate:float ->
   ?recent:int ->
+  ?workers:int ->
+  ?queue_depth:int ->
   unit ->
   t
 (** [create ()] builds a server. [domains] is passed to every
@@ -77,19 +109,29 @@ val create :
     trace. [slow_ms] (default {!default_slow_ms}) sets the slow-log
     threshold; [sample_rate] (default [1.] — keep everything) the
     deterministic head-sampling rate for trace retention; [recent]
-    (default 128) the request-ring capacity. *)
+    (default 128) the request-ring capacity. [workers] (default
+    {!default_workers}, clamped to [>= 1]) bounds how many requests run
+    concurrently; [queue_depth] (default {!default_queue_depth}) bounds
+    how many admitted searches may wait before new ones are shed. *)
 
 val metrics : t -> Itf_obs.Metrics.t
 (** The server's metrics registry (shared with every search it runs). *)
 
 val handle_line : t -> string -> Itf_obs.Json.t * bool
-(** [handle_line t line] answers one JSONL request: the response value
-    and whether the request asked the server to stop. Never raises —
+(** [handle_line t line] answers one JSONL request synchronously: the
+    request is admitted through the scheduler like any other, and the
+    call blocks until its response lands. Returns the response value and
+    whether the request asked the server to stop. Never raises —
     malformed input and engine failures become [status = "error"]
-    responses. Exposed for tests; {!run} is the I/O loop around it. *)
+    responses. Safe to call from several threads at once (the
+    concurrency tests do). Exposed for tests and simple embedding;
+    {!run} pipelines requests instead of blocking per line. *)
 
 val run : ?socket:string -> t -> unit
 (** [run t] serves stdin/stdout until EOF or a shutdown request; with
     [socket], also listens on that Unix-domain socket path (removed and
-    re-created), one thread per connection. Closes the listener and live
-    connections on the way out and writes the final metrics/trace dumps. *)
+    re-created), one thread per connection. Requests are pipelined: the
+    reader admits them as they arrive and responses are written in
+    completion order under a per-channel lock. Drains in-flight
+    requests, then closes the listener and live connections on the way
+    out and writes the final metrics/trace dumps. *)

@@ -185,6 +185,57 @@ let test_explicit_compare_matches_polymorphic () =
     vecs
 
 (* ------------------------------------------------------------------ *)
+(* Multi-domain interning stress                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The sharded tables' contract under true parallelism: N domains racing
+   to intern the same structures must all observe the same canonical ids
+   (an id is assigned once, under the winning shard lock, and every loser
+   reads it back), distinct structures must keep distinct ids, and once
+   the race settles the tables are converged — re-interning the whole set
+   adds nothing to any table. *)
+
+let stress_exprs () =
+  List.init 64 (fun k ->
+      Expr.(add (add (var "i") (int k)) (add (var "j") (int (k * 7)))))
+
+let stress_nest_src =
+  "do i = 1, n\n\
+  \  do j = 1, n\n\
+  \    a(i, j) = a(i, j) + b(j, i)\n\
+  \  enddo\n\
+   enddo\n"
+
+let test_multi_domain_intern_stress () =
+  let intern_all () =
+    let expr_ids = List.map Intern.expr_id (stress_exprs ()) in
+    let nest_id = Intern.nest_id (Itf_lang.Parser.parse_nest stress_nest_src) in
+    (expr_ids, nest_id)
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn intern_all) in
+  let results = List.map Domain.join domains in
+  (* main domain re-interns after the join: the reference answer *)
+  let ref_exprs, ref_nest = intern_all () in
+  List.iteri
+    (fun d (expr_ids, nest_id) ->
+      check_bool (Printf.sprintf "domain %d: expr ids agree" d) true
+        (expr_ids = ref_exprs);
+      check_int (Printf.sprintf "domain %d: nest id agrees" d) ref_nest nest_id)
+    results;
+  check_int "distinct exprs keep distinct ids" (List.length ref_exprs)
+    (List.length (List.sort_uniq compare ref_exprs));
+  (* convergence: the racing domains left canonical tables behind — one
+     entry per distinct structure, so a full re-intern adds nothing *)
+  let before = Hashcons.stats () in
+  ignore (intern_all ());
+  let after = Hashcons.stats () in
+  List.iter2
+    (fun (b : Hashcons.stats) (a : Hashcons.stats) ->
+      check_int (a.Hashcons.name ^ ": table size converged") b.Hashcons.size
+        a.Hashcons.size)
+    before after
+
+(* ------------------------------------------------------------------ *)
 (* Engine identity: seq == par, interned == no-intern                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -271,6 +322,8 @@ let () =
             test_reduce_memo_agrees;
           Alcotest.test_case "explicit compares match polymorphic" `Quick
             test_explicit_compare_matches_polymorphic;
+          Alcotest.test_case "multi-domain intern stress" `Quick
+            test_multi_domain_intern_stress;
           Alcotest.test_case "engine: par == seq with interning" `Quick
             test_engine_par_identity;
           Alcotest.test_case "engine: interned == no-intern" `Quick

@@ -475,6 +475,224 @@ let test_serve_shutdown () =
   check_string "ok" "ok" (status resp);
   check_bool "shutdown acknowledged" true (field "shutdown" resp = Json.Bool true)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrency: scheduler, shedding, queue deadlines, determinism      *)
+(* ------------------------------------------------------------------ *)
+
+let spawn f = Thread.create f ()
+
+let gauge server name =
+  Itf_obs.Metrics.gauge_value (Itf_obs.Metrics.gauge (Serve.metrics server) name)
+
+(* Spin until [pred] holds (the scheduler gauges are updated by worker
+   domains, so tests sequence themselves on observable state rather than
+   sleeps). Returns false only after [timeout] seconds. *)
+let wait_for ?(timeout = 30.) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Thread.yield ();
+      go ()
+    end
+  in
+  go ()
+
+(* A search heavy enough to keep the single worker busy while the test
+   stages queued and shed requests behind it. *)
+let heavy_req id =
+  req ~id ~steps:3 ~params:[ ("n", Json.Int 16) ] matmul_src
+
+let strip_envelope json =
+  match json with
+  | Json.Obj kvs ->
+    Json.Obj (List.filter (fun (k, _) -> k <> "cached" && k <> "time_ms") kvs)
+  | v -> v
+
+(* The tentpole's determinism guard: the same request mix — warm and
+   cold, repeats and distinct fingerprints — produces byte-identical
+   search payloads on a 4-worker server racing 4 client threads as on a
+   1-worker server running them in order. Only the [cached]/[time_ms]
+   envelope may differ (which repeat wins the cache insert is a race;
+   what the payload says is not). *)
+let test_serve_concurrent_byte_identity () =
+  let variants =
+    [
+      (fun id -> req ~id ~steps:1 matmul_src);
+      (fun id -> req ~id ~steps:2 matmul_src);
+      (fun id -> req ~id ~steps:2 ~params:[ ("n", Json.Int 8) ] matmul_src);
+    ]
+  in
+  let requests =
+    List.concat
+      (List.init 3 (fun rep ->
+           List.mapi
+             (fun i mk ->
+               let id = Printf.sprintf "r%d-%d" rep i in
+               (id, mk (Json.String id)))
+             variants))
+  in
+  let serial = Serve.create ~domains:1 ~workers:1 () in
+  let expected =
+    List.map
+      (fun (id, line) ->
+        (id, Json.to_string (strip_envelope (fst (Serve.handle_line serial line)))))
+      requests
+  in
+  let concurrent = Serve.create ~domains:1 ~workers:4 ~queue_depth:64 () in
+  let results = ref [] in
+  let results_lock = Mutex.create () in
+  let worker slice =
+    List.iter
+      (fun (id, line) ->
+        let resp, _ = Serve.handle_line concurrent line in
+        let s = Json.to_string (strip_envelope resp) in
+        Mutex.protect results_lock (fun () -> results := (id, s) :: !results))
+      slice
+  in
+  let slices =
+    List.init 3 (fun k ->
+        List.filteri (fun i _ -> i mod 3 = k) requests)
+  in
+  let threads = List.map (fun slice -> spawn (fun () -> worker slice)) slices in
+  List.iter Thread.join threads;
+  check_int "all requests answered" (List.length requests)
+    (List.length !results);
+  List.iter
+    (fun (id, want) ->
+      match List.assoc_opt id !results with
+      | None -> Alcotest.fail ("no concurrent response for " ^ id)
+      | Some got ->
+        check_string
+          (Printf.sprintf "payload %s byte-identical: workers 4 vs 1" id)
+          want got)
+    expected
+
+(* Overload shedding at the admission queue: with one worker pinned by a
+   heavy search and the 1-slot queue full, the next search is shed
+   immediately as [overloaded] — and the shed/overloaded counters record
+   exactly one. *)
+let test_serve_overload_shedding () =
+  let server =
+    Serve.create ~domains:1 ~max_cache:0 ~workers:1 ~queue_depth:1 ()
+  in
+  let t1 =
+    spawn (fun () -> ignore (Serve.handle_line server (heavy_req (Json.Int 1))))
+  in
+  check_bool "worker picked up the blocker" true
+    (wait_for (fun () -> gauge server "serve.workers.busy" = 1.));
+  let t2 =
+    spawn (fun () ->
+        ignore (Serve.handle_line server (req ~id:(Json.Int 2) ~steps:1 matmul_src)))
+  in
+  check_bool "second search queued" true
+    (wait_for (fun () -> gauge server "serve.queue.depth" = 1.));
+  let shed, stop =
+    Serve.handle_line server (req ~id:(Json.Int 3) ~steps:1 matmul_src)
+  in
+  check_bool "no shutdown" false stop;
+  check_string "shed as overloaded" "overloaded" (status shed);
+  check_bool "id echoed on shed" true (field "id" shed = Json.Int 3);
+  check_bool "shed carries an error message" true
+    (Json.to_str (field "error" shed) <> None);
+  check_bool "shed response has no score" true
+    (Json.member "score" shed = None);
+  Thread.join t1;
+  Thread.join t2;
+  let st, _ = Serve.handle_line server "{\"op\": \"status\"}" in
+  check_bool "exactly one shed" true (obj_field [ "queue"; "shed" ] st = Json.Int 1);
+  check_bool "exactly one overloaded" true
+    (obj_field [ "requests"; "overloaded" ] st = Json.Int 1);
+  check_bool "the two real searches completed" true
+    (obj_field [ "requests"; "ok" ] st = Json.Int 2)
+
+(* Queue-aware deadlines: a request whose allowance is consumed while it
+   waits behind a heavy search is answered [degraded] with the
+   [queue:deadline] cut without ever running the engine — and it never
+   enters the response cache. *)
+let test_serve_queue_deadline () =
+  let server = Serve.create ~domains:1 ~workers:1 () in
+  let t1 =
+    spawn (fun () -> ignore (Serve.handle_line server (heavy_req (Json.Int 1))))
+  in
+  check_bool "worker picked up the blocker" true
+    (wait_for (fun () -> gauge server "serve.workers.busy" = 1.));
+  let resp, _ =
+    Serve.handle_line server
+      (req ~id:(Json.Int 2) ~deadline_ms:0.01 ~steps:1 matmul_src)
+  in
+  Thread.join t1;
+  check_string "degraded" "degraded" (status resp);
+  check_bool "cut names the queue" true
+    (field "cut" resp = Json.String "queue:deadline");
+  check_bool "engine never ran: no score" true (Json.member "score" resp = None);
+  check_bool "not served from cache" true (field "cached" resp = Json.Bool false);
+  (* same fingerprint, no deadline: must be a fresh complete search, so
+     the expired request really was never cached *)
+  let again, _ = Serve.handle_line server (req ~id:(Json.Int 4) ~steps:1 matmul_src) in
+  check_string "repeat completes" "ok" (status again);
+  check_bool "repeat was not cached" true (field "cached" again = Json.Bool false)
+
+(* Exact accounting under concurrency: 4 threads x 5 requests against 4
+   workers; every counter the server reports must balance to the request
+   multiset — no lost updates in the LRU counters, the ring, the request
+   counters or the latency histogram. *)
+let test_serve_concurrent_exact_totals () =
+  let server =
+    Serve.create ~domains:1 ~workers:4 ~queue_depth:64 ~slow_ms:0. ()
+  in
+  let thread k =
+    for i = 0 to 2 do
+      ignore
+        (Serve.handle_line server
+           (req ~id:(Json.String (Printf.sprintf "ok-%d-%d" k i)) matmul_src))
+    done;
+    ignore
+      (Serve.handle_line server
+         (req
+            ~id:(Json.String (Printf.sprintf "cut-%d" k))
+            ~max_nodes:5 ~steps:3 matmul_src));
+    ignore
+      (Serve.handle_line server
+         (Printf.sprintf "{\"id\": \"bad-%d\", \"nest\": 42}" k))
+  in
+  let threads = List.init 4 (fun k -> spawn (fun () -> thread k)) in
+  List.iter Thread.join threads;
+  (* replies land just before a pump releases its slot, so drain is
+     observed, not assumed *)
+  check_bool "scheduler drained: no busy workers" true
+    (wait_for (fun () -> gauge server "serve.workers.busy" = 0.));
+  check_bool "scheduler drained: empty queue" true
+    (gauge server "serve.queue.depth" = 0.);
+  let st, _ = Serve.handle_line server "{\"op\": \"status\"}" in
+  check_bool "12 ok" true (obj_field [ "requests"; "ok" ] st = Json.Int 12);
+  check_bool "4 degraded" true
+    (obj_field [ "requests"; "degraded" ] st = Json.Int 4);
+  check_bool "4 errors" true (obj_field [ "requests"; "error" ] st = Json.Int 4);
+  check_bool "0 overloaded" true
+    (obj_field [ "requests"; "overloaded" ] st = Json.Int 0);
+  check_bool "total balances" true
+    (obj_field [ "requests"; "total" ] st = Json.Int 20);
+  check_bool "every search latency observed" true
+    (obj_field [ "latency_us"; "count" ] st = Json.Int 20);
+  (* every executed search probed the LRU exactly once: 12 ok + 4
+     degraded (degraded probes but is never inserted); errors never reach
+     the cache. Hit/miss split depends on scheduling, the sum does not. *)
+  let cache_n path =
+    match Json.to_int (obj_field [ "cache"; path ] st) with
+    | Some n -> n
+    | None -> Alcotest.fail "cache counter not an int"
+  in
+  check_int "LRU probes balance: hits + misses = 16" 16
+    (cache_n "hits" + cache_n "misses");
+  check_bool "nothing shed" true (obj_field [ "queue"; "shed" ] st = Json.Int 0);
+  (* slow_ms 0: all 20 requests are slow; the snapshot caps its listing,
+     so a full window proves the ring lost none of the concurrent pushes *)
+  match field "slow" st with
+  | Json.List l -> check_int "slow-log window full" 16 (List.length l)
+  | _ -> Alcotest.fail "slow not a list"
+
 let () =
   Alcotest.run "serve"
     [
@@ -522,5 +740,16 @@ let () =
             test_serve_sampling_retention;
           Alcotest.test_case "phase sum tracks search total" `Quick
             test_serve_phase_sum_vs_total;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "workers 4 == workers 1 byte-identical" `Quick
+            test_serve_concurrent_byte_identity;
+          Alcotest.test_case "overload sheds at the queue cap" `Quick
+            test_serve_overload_shedding;
+          Alcotest.test_case "queued past deadline never runs" `Quick
+            test_serve_queue_deadline;
+          Alcotest.test_case "concurrent totals are exact" `Quick
+            test_serve_concurrent_exact_totals;
         ] );
     ]
